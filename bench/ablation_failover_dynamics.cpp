@@ -1,0 +1,81 @@
+// Ablation: failover dynamics under bursty (Markov) failures.
+//
+// The steady-state availability figures hide the *recovery* story the
+// paper tells in Section I: on-site backups switch fast but die with their
+// cloudlet; off-site backups survive cloudlet outages via remote failover.
+// This bench replays the same schedules under Markov failure/repair
+// processes with increasing cloudlet repair times and reports delivered
+// availability, outages and local/remote failover counts per scheme.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hybrid_primal_dual.hpp"
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "report/table.hpp"
+#include "sim/failover_study.hpp"
+
+using namespace vnfr;
+
+int main() {
+    const std::size_t requests = bench::quick_mode() ? 200 : 500;
+    const std::size_t seeds = bench::quick_mode() ? 2 : 5;
+    const std::vector<double> mttrs =
+        bench::quick_mode() ? std::vector<double>{2, 8} : std::vector<double>{1, 2, 4, 8, 16};
+
+    std::cout << "== Ablation: failover dynamics vs cloudlet repair time ==\n\n";
+    report::Table table({"cloudlet MTTR", "scheme", "availability", "outages/1k slots",
+                         "local failovers/1k", "remote failovers/1k"});
+
+    for (const double mttr : mttrs) {
+        struct Agg {
+            common::RunningStats availability, outages, local, remote;
+        };
+        Agg onsite_agg;
+        Agg offsite_agg;
+        Agg hybrid_agg;
+
+        for (std::size_t s = 0; s < seeds; ++s) {
+            common::Rng rng(7000 + s);
+            const core::Instance inst =
+                core::make_instance(bench::paper_environment(requests), rng);
+
+            const auto study = [&](core::OnlineScheduler& scheduler, Agg& agg) {
+                const core::ScheduleResult result = core::run_online(inst, scheduler);
+                sim::FailoverConfig cfg;
+                cfg.cloudlet_mttr_slots = mttr;
+                cfg.seed = 7000 + s;
+                const sim::FailoverReport report =
+                    sim::run_failover_study(inst, result.decisions, cfg);
+                const double per_k =
+                    1000.0 / std::max<std::size_t>(1, report.request_slots);
+                agg.availability.add(report.availability());
+                agg.outages.add(report.outages * per_k);
+                agg.local.add(report.local_failovers * per_k);
+                agg.remote.add(report.remote_failovers * per_k);
+            };
+            core::OnsitePrimalDual onsite(inst);
+            study(onsite, onsite_agg);
+            core::OffsitePrimalDual offsite(inst);
+            study(offsite, offsite_agg);
+            core::HybridPrimalDual hybrid(inst);
+            study(hybrid, hybrid_agg);
+        }
+
+        const auto emit = [&](const char* scheme, const Agg& agg) {
+            table.add_row({report::format_double(mttr, 0), scheme,
+                           report::format_double(agg.availability.mean(), 4),
+                           report::format_double(agg.outages.mean(), 2),
+                           report::format_double(agg.local.mean(), 2),
+                           report::format_double(agg.remote.mean(), 2)});
+        };
+        emit("on-site (Alg 1)", onsite_agg);
+        emit("off-site (Alg 2)", offsite_agg);
+        emit("hybrid", hybrid_agg);
+    }
+    std::cout << table.to_text()
+              << "\nas cloudlet outages lengthen, the on-site scheme's availability\n"
+                 "degrades (no remote failover path) while off-site holds it by\n"
+                 "switching cloudlets; the hybrid sits between the two.\n";
+    return 0;
+}

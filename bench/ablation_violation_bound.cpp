@@ -1,0 +1,69 @@
+// Ablation: how close does the *pure* Algorithm 1 (capacity violations
+// allowed, exactly as analyzed in Theorem 1) come to the Lemma 8 violation
+// bound xi, and what does capacity checking cost in revenue?
+//
+// Sweeps capacity tightness; for each setting reports the pure variant's
+// measured peak load factor against xi, plus the revenue of the pure vs the
+// capacity-checked variant. The measured violation should stay well under
+// the (loose) theoretical bound, and the capacity check should cost little
+// revenue — the empirical justification for the paper's scaling approach.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "report/table.hpp"
+
+using namespace vnfr;
+
+int main() {
+    const std::vector<double> capacities =
+        bench::quick_mode() ? std::vector<double>{10, 40} : std::vector<double>{8, 10, 15,
+                                                                                25, 40, 60};
+    const std::size_t requests = bench::quick_mode() ? 200 : 500;
+    const std::size_t seeds = bench::quick_mode() ? 2 : 5;
+
+    std::cout << "== Ablation: Lemma 8 capacity-violation bound vs measurement ==\n\n";
+    report::Table table({"capacity", "xi (bound)", "measured peak load", "revenue (pure)",
+                         "revenue (checked)", "revenue cost of checking"});
+
+    for (const double cap : capacities) {
+        common::RunningStats peak_load;
+        common::RunningStats xi_stat;
+        common::RunningStats pure_revenue;
+        common::RunningStats checked_revenue;
+        for (std::size_t s = 0; s < seeds; ++s) {
+            core::InstanceConfig env = bench::paper_environment(requests);
+            env.cloudlets.capacity_min = cap;
+            env.cloudlets.capacity_max = cap;
+            common::Rng rng(5000 + s);
+            const core::Instance inst = core::make_instance(env, rng);
+
+            core::OnsitePrimalDual pure(inst, {.enforce_capacity = false});
+            const core::ScheduleResult pure_result = core::run_online(inst, pure);
+            core::OnsitePrimalDual checked(inst);
+            const core::ScheduleResult checked_result = core::run_online(inst, checked);
+
+            peak_load.add(pure_result.max_load_factor);
+            xi_stat.add(core::compute_onsite_bounds(inst).xi);
+            pure_revenue.add(pure_result.revenue);
+            checked_revenue.add(checked_result.revenue);
+        }
+        const double cost =
+            (1.0 - checked_revenue.mean() / pure_revenue.mean()) * 100.0;
+        table.add_row({report::format_double(cap, 0),
+                       report::format_double(xi_stat.mean(), 1),
+                       report::format_double(peak_load.mean(), 2),
+                       report::format_double(pure_revenue.mean(), 1),
+                       report::format_double(checked_revenue.mean(), 1),
+                       report::format_double(cost, 1) + "%"});
+    }
+    std::cout << table.to_text()
+              << "\nmeasured peak load must stay below xi on every run (Lemma 8); values\n"
+                 "near 1.0 mean the pure variant barely violates in practice. The last\n"
+                 "column compares the pure Eq. 34 variant against the paper's evaluated\n"
+                 "variant (capacity check + scaled dual prices): at tight capacities the\n"
+                 "check costs revenue, while at realistic capacities the scaled prices\n"
+                 "recover far more than the check costs (negative numbers).\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 1(a): revenue of the on-site algorithms vs the number of requests.
+//
+// Series: Algorithm 1 (capacity-checked, as evaluated in the paper via the
+// scaling approach), the reliability-greedy baseline, and the offline LP
+// bound standing in for the paper's CPLEX optimum (a true upper bound).
+// Expected shape: near-optimal for small n; Algorithm 1 pulls ahead of
+// greedy as the network saturates (paper: ~31.8% at n = 800).
+#include "bench_common.hpp"
+
+using namespace vnfr;
+
+int main() {
+    const std::vector<std::size_t> sweep = bench::quick_mode()
+                                               ? std::vector<std::size_t>{100, 300}
+                                               : std::vector<std::size_t>{100, 200, 300, 400,
+                                                                          500, 600, 700, 800};
+    const std::vector<sim::Algorithm> algorithms{sim::Algorithm::kOnsitePrimalDual,
+                                                 sim::Algorithm::kOnsiteGreedy};
+
+    std::vector<bench::SeriesRow> rows;
+    for (const std::size_t n : sweep) {
+        sim::ExperimentConfig cfg;
+        cfg.algorithms = algorithms;
+        cfg.seeds = bench::quick_mode() ? 2 : 5;
+        cfg.base_seed = 1000;
+        cfg.compute_offline = true;
+        cfg.offline_scheme = core::Scheme::kOnsite;
+        cfg.offline.run_ilp = false;  // LP relaxation bound (upper bound on OPT)
+        rows.push_back({static_cast<double>(n),
+                        sim::run_experiment(bench::make_factory(bench::paper_environment(n)),
+                                            cfg)});
+    }
+    bench::print_series("Figure 1(a): on-site scheme, revenue vs number of requests",
+                        "requests", algorithms, rows, /*with_offline_bound=*/true);
+    bench::print_final_gap(rows);
+    return 0;
+}

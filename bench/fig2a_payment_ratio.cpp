@@ -1,0 +1,40 @@
+// Figure 2(a): impact of the payment-rate variation H = pr_max / pr_min.
+//
+// Protocol from Section VI.C: fix pr_max, lower pr_min to raise H; payment
+// rates are uniform on [pr_min, pr_max]. Expected shape: revenue decreases
+// as H grows (users pay less per unit of resource), with the impact
+// pronounced for H in [1, 5] and diminishing afterwards because low-rate
+// requests simply get rejected.
+//
+// The request count is fixed at the saturated end of the Figure 1 sweep so
+// that admission control actually has to choose.
+#include "bench_common.hpp"
+
+using namespace vnfr;
+
+int main() {
+    const std::vector<double> sweep = bench::quick_mode()
+                                          ? std::vector<double>{1, 5}
+                                          : std::vector<double>{1, 2, 5, 10, 15, 20};
+    const std::size_t requests = bench::quick_mode() ? 200 : 600;
+
+    const std::vector<sim::Algorithm> algorithms{
+        sim::Algorithm::kOnsitePrimalDual, sim::Algorithm::kOnsiteGreedy,
+        sim::Algorithm::kOffsitePrimalDual, sim::Algorithm::kOffsiteGreedy};
+
+    std::vector<bench::SeriesRow> rows;
+    for (const double h : sweep) {
+        core::InstanceConfig env = bench::paper_environment(requests);
+        env.workload.set_payment_ratio(h);
+
+        sim::ExperimentConfig cfg;
+        cfg.algorithms = algorithms;
+        cfg.seeds = bench::quick_mode() ? 2 : 5;
+        cfg.base_seed = 3000;
+        rows.push_back({h, sim::run_experiment(bench::make_factory(env), cfg)});
+    }
+    bench::print_series("Figure 2(a): revenue vs payment-rate ratio H (n = " +
+                            std::to_string(requests) + ")",
+                        "H", algorithms, rows, /*with_offline_bound=*/false);
+    return 0;
+}

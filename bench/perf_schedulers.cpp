@@ -1,0 +1,75 @@
+// Microbenchmarks: per-request decision latency of the online schedulers
+// as the cloudlet count grows. An online admission controller sits on the
+// request path, so its decide() cost is the deployment-relevant number.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "net/generators.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace vnfr;
+
+core::Instance make_bench_instance(std::size_t cloudlets, std::size_t requests) {
+    common::Rng rng(99);
+    net::Graph g = net::erdos_renyi(cloudlets + 5, 0.3, rng, true);
+    core::Instance inst{edge::MecNetwork(std::move(g)), vnf::Catalog::paper_default(rng), 60,
+                        {}};
+    edge::CloudletAttachment attach;
+    attach.count = cloudlets;
+    attach.capacity_min = 1e7;  // effectively infinite: isolate pricing cost
+    attach.capacity_max = 2e7;
+    inst.network.attach_random_cloudlets(attach, rng);
+    workload::GeneratorConfig wl;
+    wl.horizon = 60;
+    wl.count = requests;
+    wl.duration_max = 12;
+    inst.requests = workload::generate(wl, inst.catalog, rng);
+    inst.validate();
+    return inst;
+}
+
+void run_decide_benchmark(benchmark::State& state, sim::Algorithm algorithm) {
+    const auto cloudlets = static_cast<std::size_t>(state.range(0));
+    const core::Instance inst = make_bench_instance(cloudlets, 4096);
+    auto scheduler = sim::make_scheduler(algorithm, inst);
+    std::size_t next = 0;
+    for (auto _ : state) {
+        if (next == inst.requests.size()) {
+            // Fresh scheduler once the request stream is exhausted, outside
+            // the timed region.
+            state.PauseTiming();
+            scheduler = sim::make_scheduler(algorithm, inst);
+            next = 0;
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(scheduler->decide(inst.requests[next++]));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_OnsitePrimalDualDecide(benchmark::State& state) {
+    run_decide_benchmark(state, sim::Algorithm::kOnsitePrimalDual);
+}
+void BM_OnsiteGreedyDecide(benchmark::State& state) {
+    run_decide_benchmark(state, sim::Algorithm::kOnsiteGreedy);
+}
+void BM_OffsitePrimalDualDecide(benchmark::State& state) {
+    run_decide_benchmark(state, sim::Algorithm::kOffsitePrimalDual);
+}
+void BM_OffsiteGreedyDecide(benchmark::State& state) {
+    run_decide_benchmark(state, sim::Algorithm::kOffsiteGreedy);
+}
+
+BENCHMARK(BM_OnsitePrimalDualDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK(BM_OnsiteGreedyDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK(BM_OffsitePrimalDualDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+BENCHMARK(BM_OffsiteGreedyDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

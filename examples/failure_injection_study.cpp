@@ -1,0 +1,87 @@
+// Does the provider actually deliver the promised reliability?
+//
+// Schedules a workload under both schemes, then (a) verifies each admitted
+// placement analytically against its requirement, and (b) injects random
+// cloudlet/instance failures every slot and measures the availability the
+// users actually experienced, comparing it with the analytic prediction.
+//
+//   $ ./failure_injection_study [num_requests] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "report/table.hpp"
+#include "sim/failure_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+using namespace vnfr;
+
+int main(int argc, char** argv) {
+    const std::size_t num_requests =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3;
+
+    core::InstanceConfig cfg;
+    cfg.topology = "nsfnet";
+    cfg.cloudlets.count = 9;
+    cfg.cloudlets.capacity_min = 40;
+    cfg.cloudlets.capacity_max = 60;
+    cfg.workload.horizon = 60;
+    cfg.workload.count = num_requests;
+    cfg.workload.duration_max = 12;
+    common::Rng rng(seed);
+    const core::Instance instance = core::make_instance(cfg, rng);
+
+    std::cout << "Failure-injection study: nsfnet, " << instance.requests.size()
+              << " requests, horizon " << instance.horizon << "\n\n";
+
+    report::Table table({"scheme", "admitted", "analytic avail (mean)", "min slack",
+                         "empirical avail", "request-slots sampled"});
+
+    const auto study = [&](core::OnlineScheduler& scheduler) {
+        sim::SimulatorConfig sim_cfg;
+        sim_cfg.inject_failures = true;
+        sim_cfg.failure_seed = seed * 977 + 1;
+        const sim::SimulationReport report = sim::simulate(instance, scheduler, sim_cfg);
+        const sim::PlacementStats stats =
+            sim::placement_stats(instance, report.schedule.decisions);
+        table.add_row({std::string(scheduler.name()),
+                       std::to_string(report.schedule.admitted),
+                       report::format_double(stats.mean_availability, 4),
+                       report::format_double(stats.min_slack, 4),
+                       report::format_double(report.empirical_availability(), 4),
+                       std::to_string(report.served_request_slots +
+                                      report.disrupted_request_slots)});
+    };
+
+    core::OnsitePrimalDual onsite(instance);
+    core::OffsitePrimalDual offsite(instance);
+    study(onsite);
+    study(offsite);
+    std::cout << table.to_text();
+
+    // Deep-dive: per-request Monte-Carlo check on a few admitted requests.
+    std::cout << "\nper-request Monte-Carlo spot check (on-site scheme, 100k trials):\n";
+    core::OnsitePrimalDual fresh(instance);
+    const core::ScheduleResult result = core::run_online(instance, fresh);
+    report::Table spot({"request", "required R", "analytic", "monte-carlo"});
+    common::Rng mc_rng(seed + 42);
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < result.decisions.size() && shown < 5; ++i) {
+        if (!result.decisions[i].admitted) continue;
+        const auto& r = instance.requests[i];
+        const auto& p = result.decisions[i].placement;
+        spot.add_row({std::to_string(r.id.value), report::format_double(r.requirement, 4),
+                      report::format_double(sim::analytic_availability(instance, r, p), 4),
+                      report::format_double(
+                          sim::monte_carlo_availability(instance, r, p, 100000, mc_rng), 4)});
+        ++shown;
+    }
+    std::cout << spot.to_text()
+              << "\nEvery admitted request's availability must sit at or above its "
+                 "requirement;\nthe empirical column converges to the analytic one.\n";
+    return 0;
+}

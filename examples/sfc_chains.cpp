@@ -1,0 +1,83 @@
+// Service function chains (extension): schedule multi-VNF chain requests
+// on-site with per-function replica sizing, compare the primal-dual
+// pricing against the reliability-greedy baseline, and show how replicas
+// are distributed along a chain.
+//
+//   $ ./sfc_chains [num_chains] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "report/table.hpp"
+#include "sfc/chain_reliability.hpp"
+#include "sfc/chain_scheduler.hpp"
+#include "sfc/chain_workload.hpp"
+
+using namespace vnfr;
+
+int main(int argc, char** argv) {
+    const std::size_t num_chains =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 250;
+    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 5;
+
+    common::Rng rng(seed);
+    core::InstanceConfig cfg;
+    cfg.topology = "nsfnet";
+    cfg.cloudlets.count = 8;
+    cfg.cloudlets.capacity_min = 60;
+    cfg.cloudlets.capacity_max = 90;
+    cfg.workload.count = 0;  // chain workload replaces single-VNF requests
+    cfg.workload.horizon = 24;
+    const core::Instance instance = core::make_instance(cfg, rng);
+
+    sfc::ChainWorkloadConfig chain_cfg;
+    chain_cfg.horizon = instance.horizon;
+    chain_cfg.count = num_chains;
+    const auto chains = sfc::generate_chains(chain_cfg, instance.catalog, rng);
+
+    std::cout << "SFC scheduling (extension): nsfnet, " << instance.network.cloudlet_count()
+              << " cloudlets, " << chains.size() << " chains of "
+              << chain_cfg.chain_length_min << "-" << chain_cfg.chain_length_max
+              << " functions\n\n";
+
+    report::Table table({"algorithm", "revenue", "accepted", "peak load"});
+    sfc::ChainPrimalDual pd(instance);
+    sfc::ChainGreedy greedy(instance);
+    sfc::ChainScheduleResult pd_result;
+    for (sfc::ChainScheduler* s : {static_cast<sfc::ChainScheduler*>(&pd),
+                                   static_cast<sfc::ChainScheduler*>(&greedy)}) {
+        const sfc::ChainScheduleResult result = sfc::run_chains(instance, chains, *s);
+        if (s == &pd) pd_result = result;
+        table.add_row({std::string(s->name()), report::format_double(result.revenue, 1),
+                       std::to_string(result.admitted) + "/" + std::to_string(chains.size()),
+                       report::format_double(result.max_load_factor, 3)});
+    }
+    std::cout << table.to_text();
+
+    std::cout << "\nsample chain placements (primal-dual):\n";
+    report::Table placements({"chain", "functions (replicas)", "R", "availability"});
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < pd_result.decisions.size() && shown < 6; ++i) {
+        const sfc::ChainDecision& d = pd_result.decisions[i];
+        if (!d.admitted) continue;
+        std::string desc;
+        std::vector<double> rels;
+        for (std::size_t k = 0; k < chains[i].functions.size(); ++k) {
+            if (!desc.empty()) desc += " -> ";
+            desc += instance.catalog.get(chains[i].functions[k]).name + "(x" +
+                    std::to_string(d.placement.replicas[k]) + ")";
+            rels.push_back(instance.catalog.reliability(chains[i].functions[k]));
+        }
+        const double avail = sfc::chain_onsite_availability(
+            instance.network.cloudlet(d.placement.cloudlet).reliability, rels,
+            d.placement.replicas);
+        placements.add_row({std::to_string(chains[i].id.value), desc,
+                            report::format_double(chains[i].requirement, 3),
+                            report::format_double(avail, 4)});
+        ++shown;
+    }
+    std::cout << placements.to_text()
+              << "\nless reliable functions in a chain receive more replicas; every\n"
+                 "admitted chain's availability clears its requirement.\n";
+    return 0;
+}

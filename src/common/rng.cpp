@@ -1,0 +1,141 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vnfr::common {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& lane : state_) lane = splitmix64(s);
+    // All-zero state is the one forbidden fixed point of xoshiro; SplitMix64
+    // cannot produce four consecutive zeros, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+    return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = (0 - span) % span;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+    }
+}
+
+bool Rng::bernoulli(double p) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
+    return uniform01() < p;
+}
+
+double Rng::exponential(double lambda) {
+    if (lambda <= 0.0) throw std::invalid_argument("Rng::exponential: lambda <= 0");
+    // -log(1-u) keeps u=0 finite; uniform01() never returns 1.
+    return -std::log1p(-uniform01()) / lambda;
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) {
+    if (alpha <= 0.0 || lo <= 0.0 || hi < lo)
+        throw std::invalid_argument("Rng::bounded_pareto: bad parameters");
+    if (lo == hi) return lo;
+    const double u = uniform01();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    // Inverse CDF of the Pareto truncated to [lo, hi].
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+int Rng::poisson(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("Rng::poisson: mean <= 0");
+    if (mean > 700.0) throw std::invalid_argument("Rng::poisson: mean too large for inversion");
+    // Sequential search on the CDF; adequate for the arrival rates we use.
+    const double l = std::exp(-mean);
+    int k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= uniform01();
+    } while (p > l);
+    return k - 1;
+}
+
+double Rng::normal(double mean, double stddev) {
+    if (stddev < 0.0) throw std::invalid_argument("Rng::normal: stddev < 0");
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return mean + stddev * cached_normal_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return mean + stddev * u * factor;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+    if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto j = static_cast<std::size_t>(
+            uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+        std::swap(pool[i], pool[j]);
+        out.push_back(pool[i]);
+    }
+    return out;
+}
+
+Rng Rng::split(std::uint64_t stream) {
+    // Mix a fresh seed from our state plus the stream label so children with
+    // different labels are independent and reproducible.
+    std::uint64_t s = (*this)() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x6a09e667f3bcc909ULL);
+    return Rng(splitmix64(s));
+}
+
+}  // namespace vnfr::common

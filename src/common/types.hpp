@@ -1,0 +1,65 @@
+// Strong identifier and basic scalar types shared across all vnfr modules.
+//
+// Identifiers for requests, cloudlets, VNF types and graph nodes are all
+// integers at heart; wrapping them in distinct types prevents the classic
+// bug of indexing a cloudlet table with a request id. The wrapper is a
+// zero-overhead aggregate with full comparison support so it can key
+// std::map and sort naturally.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace vnfr {
+
+/// Zero-cost strongly typed integer id. `Tag` only disambiguates types.
+template <typename Tag>
+struct StrongId {
+    std::int64_t value{-1};
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(std::int64_t v) : value(v) {}
+
+    /// An id is valid once assigned a non-negative value.
+    [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+
+    /// Index into a contiguous table. Precondition: valid().
+    [[nodiscard]] constexpr std::size_t index() const {
+        return static_cast<std::size_t>(value);
+    }
+
+    friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+    return os << id.value;
+}
+
+struct RequestTag {};
+struct CloudletTag {};
+struct VnfTypeTag {};
+struct NodeTag {};
+
+using RequestId = StrongId<RequestTag>;
+using CloudletId = StrongId<CloudletTag>;
+using VnfTypeId = StrongId<VnfTypeTag>;
+using NodeId = StrongId<NodeTag>;
+
+/// Discrete time slot in [0, T). The paper's slots are 1-based; we use
+/// 0-based indices internally and only format 1-based in reports.
+using TimeSlot = std::int32_t;
+
+}  // namespace vnfr
+
+namespace std {
+template <typename Tag>
+struct hash<vnfr::StrongId<Tag>> {
+    size_t operator()(vnfr::StrongId<Tag> id) const noexcept {
+        return std::hash<std::int64_t>{}(id.value);
+    }
+};
+}  // namespace std

@@ -1,0 +1,41 @@
+// The theoretical guarantees of Algorithm 1 (Theorem 1, Lemma 8),
+// computed for a concrete instance so experiments can check them.
+//
+//   a_ij  = N_ij * c(f_i)  over feasible (request, cloudlet) pairs
+//   competitive ratio = 1 + a_max
+//   xi = a_max / (cap_min * log2(1 + a_min / cap_max))
+//        * log2( pay_max * d_max / pay_min
+//                * (1/a_min + a_max/(a_min cap_min) + a_max/(d_min cap_min))
+//                + 1 )
+//
+// xi bounds the *relative* per-cloudlet usage (usage_j / cap_j <= xi for
+// every cloudlet and slot); the absolute form (before dividing by cap_min)
+// bounds raw usage.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace vnfr::core {
+
+struct TheoryBounds {
+    double a_max{0};
+    double a_min{0};
+    double pay_max{0};
+    double pay_min{0};
+    double d_max{0};
+    double d_min{0};
+    double cap_max{0};
+    double cap_min{0};
+    /// Theorem 1: the online revenue is at least OPT / (1 + a_max).
+    double competitive_ratio{0};
+    /// Lemma 8, absolute form: usage of any cloudlet in any slot.
+    double absolute_usage_bound{0};
+    /// Lemma 8, relative form: usage_j / cap_j at any cloudlet and slot.
+    double xi{0};
+};
+
+/// Computes the bounds for the on-site scheme. Throws std::invalid_argument
+/// when no (request, cloudlet) pair is feasible (a_max undefined).
+TheoryBounds compute_onsite_bounds(const Instance& instance);
+
+}  // namespace vnfr::core

@@ -1,0 +1,30 @@
+// Exact solvers by exhaustive enumeration — ground truth for tiny
+// instances, used to validate branch-and-bound and the competitive ratio.
+//
+// Guard rails: the search space is ((m+1) per request on-site,
+// (2^m) per request off-site); both throw std::invalid_argument when the
+// instance exceeds the supported size rather than silently running forever.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace vnfr::core {
+
+struct ExhaustiveResult {
+    double revenue{0};
+    /// One decision per request (arrival order); an optimal assignment.
+    std::vector<Decision> decisions;
+};
+
+/// Optimal offline revenue under the on-site scheme. Requires
+/// requests <= 12 and cloudlets <= 6.
+ExhaustiveResult exhaustive_onsite(const Instance& instance);
+
+/// Optimal offline revenue under the off-site scheme. Requires
+/// requests <= 10 and cloudlets <= 6.
+ExhaustiveResult exhaustive_offsite(const Instance& instance);
+
+}  // namespace vnfr::core

@@ -1,0 +1,47 @@
+// A complete problem instance of the VNF service reliability problem:
+// the MEC infrastructure, the VNF catalog, the time horizon T, and the
+// request sequence (in arrival order).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "edge/mec_network.hpp"
+#include "vnf/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/request.hpp"
+
+namespace vnfr::core {
+
+struct Instance {
+    edge::MecNetwork network;
+    vnf::Catalog catalog;
+    TimeSlot horizon{0};
+    /// Requests sorted by (arrival, id); this is the online arrival order.
+    std::vector<workload::Request> requests;
+
+    /// Throws std::invalid_argument describing the first inconsistency
+    /// (no cloudlets, empty catalog, request outside horizon, unknown VNF
+    /// type, unsorted arrival order, ...).
+    void validate() const;
+};
+
+/// Everything needed to synthesize an instance; defaults mirror the
+/// paper's Section VI environment (real topology, 10 VNF types, uniform
+/// cloudlet capacities/reliabilities, payment-rate workload).
+struct InstanceConfig {
+    std::string topology{"geant"};
+    edge::CloudletAttachment cloudlets{};
+    workload::GeneratorConfig workload{};
+    /// Apply K = rc_max / rc_min by fixing rc_max and lowering rc_min
+    /// (the paper's Fig. 2(b) sweep protocol).
+    void set_reliability_ratio(double k);
+};
+
+/// Builds a validated instance deterministically from `rng`.
+Instance make_instance(const InstanceConfig& config, common::Rng& rng);
+
+}  // namespace vnfr::core

@@ -1,0 +1,176 @@
+#include "core/offsite_primal_dual.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math.hpp"
+#include "vnf/reliability.hpp"
+
+namespace vnfr::core {
+
+namespace {
+
+/// Catalog-level estimate of the typical per-request demand under the
+/// off-site scheme: c(f) times the expected number of sites needed,
+/// ln(1-R)/ln(1 - r_f r_c), at a representative requirement. Uses no
+/// knowledge of the request sequence.
+double estimate_typical_demand(const Instance& instance) {
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (const vnf::VnfType& type : instance.catalog.types()) {
+        for (const edge::Cloudlet& c : instance.network.cloudlets()) {
+            const double representative_r = 0.95;
+            const double sites = common::log1m(representative_r) /
+                                 vnf::offsite_log_failure(type.reliability, c.reliability);
+            total += std::max(1.0, sites) * type.compute_units;
+            ++pairs;
+        }
+    }
+    return pairs == 0 ? 1.0 : std::max(1.0, total / static_cast<double>(pairs));
+}
+
+}  // namespace
+
+OffsitePrimalDual::OffsitePrimalDual(const Instance& instance,
+                                     OffsitePrimalDualConfig config)
+    : instance_(instance),
+      ledger_(instance.network.capacities(), instance.horizon,
+              edge::CapacityPolicy::kEnforce),
+      lambda_(instance.network.cloudlet_count(),
+              std::vector<double>(static_cast<std::size_t>(instance.horizon), 0.0)) {
+    if (config.dual_capacity_scale < 0.0)
+        throw std::invalid_argument("OffsitePrimalDual: negative dual_capacity_scale");
+    dual_scale_ = config.dual_capacity_scale > 0.0 ? config.dual_capacity_scale
+                                                   : estimate_typical_demand(instance);
+}
+
+double OffsitePrimalDual::lambda(CloudletId j, TimeSlot t) const {
+    return lambda_.at(j.index()).at(static_cast<std::size_t>(t));
+}
+
+double OffsitePrimalDual::normalized_price(const workload::Request& request,
+                                           CloudletId j) const {
+    const double vnf_rel = instance_.catalog.reliability(request.vnf);
+    const double cloud_rel = instance_.network.cloudlet(j).reliability;
+    double lambda_sum = 0.0;
+    const auto& lam = lambda_[j.index()];
+    for (TimeSlot t = request.arrival; t < request.end(); ++t) {
+        lambda_sum += lam[static_cast<std::size_t>(t)];
+    }
+    return lambda_sum / (-vnf::offsite_log_failure(vnf_rel, cloud_rel));
+}
+
+Decision OffsitePrimalDual::decide(const workload::Request& request) {
+    const std::size_t m = instance_.network.cloudlet_count();
+    const double compute = instance_.catalog.compute_units(request.vnf);
+    const double vnf_rel = instance_.catalog.reliability(request.vnf);
+    const double log_target = common::log1m(request.requirement);  // ln(1 - R_i)
+
+    // Step 1: price every cloudlet and prune the unaffordable ones.
+    struct Candidate {
+        CloudletId cloudlet;
+        double price;  ///< w_j
+    };
+    // Classification baseline: can the full cloudlet set meet R at all?
+    double log_fail_everything = 0.0;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+        log_fail_everything += vnf::offsite_log_failure(
+            vnf_rel,
+            instance_.network.cloudlet(CloudletId{static_cast<std::int64_t>(idx)})
+                .reliability);
+    }
+    const bool reachable = log_fail_everything <= log_target;
+
+    std::vector<Candidate> candidates;
+    candidates.reserve(m);
+    for (std::size_t idx = 0; idx < m; ++idx) {
+        const CloudletId j{static_cast<std::int64_t>(idx)};
+        const double w = normalized_price(request, j);
+        // Line 5: pay_i + ln(1-R_i) * c(f_i) * w_j <= 0 -> skip cloudlet.
+        if (request.payment + log_target * compute * w <= 0.0) continue;
+        candidates.push_back({j, w});
+    }
+    if (candidates.empty()) {
+        Decision rejected;
+        rejected.reject_reason = reachable ? RejectReason::kPricedOut
+                                           : RejectReason::kInfeasibleRequirement;
+        return rejected;
+    }
+
+    // Step 2: cheapest-first greedy selection under residual capacity.
+    // Price ties (whole windows still unpriced) are broken toward the more
+    // reliable cloudlet, which needs the fewest sites to reach R_i.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const Candidate& a, const Candidate& b) {
+                  if (a.price < b.price - 1e-12 || b.price < a.price - 1e-12) {
+                      return a.price < b.price;
+                  }
+                  const double ra = instance_.network.cloudlet(a.cloudlet).reliability;
+                  const double rb = instance_.network.cloudlet(b.cloudlet).reliability;
+                  if (ra != rb) return ra > rb;
+                  return a.cloudlet < b.cloudlet;
+              });
+
+    std::vector<CloudletId> selected;
+    double log_fail = 0.0;  // sum of ln(1 - r_f r_c) over S(i)
+    bool met = false;
+    for (const Candidate& cand : candidates) {
+        if (!ledger_.fits(cand.cloudlet, request.arrival, request.end(), compute)) continue;
+        selected.push_back(cand.cloudlet);
+        log_fail += vnf::offsite_log_failure(
+            vnf_rel, instance_.network.cloudlet(cand.cloudlet).reliability);
+        if (log_fail <= log_target) {
+            met = true;
+            break;
+        }
+    }
+    if (!met) {
+        // Line 22: reject, no state touched. Classify: if even the full
+        // price-feasible candidate set ignoring capacity cannot reach R,
+        // the pruning priced the request out; otherwise capacity blocked a
+        // sufficient subset.
+        Decision rejected;
+        if (!reachable) {
+            rejected.reject_reason = RejectReason::kInfeasibleRequirement;
+        } else {
+            double log_fail_candidates = 0.0;
+            for (const Candidate& cand : candidates) {
+                log_fail_candidates += vnf::offsite_log_failure(
+                    vnf_rel, instance_.network.cloudlet(cand.cloudlet).reliability);
+            }
+            rejected.reject_reason = log_fail_candidates <= log_target
+                                         ? RejectReason::kNoCapacity
+                                         : RejectReason::kPricedOut;
+        }
+        return rejected;
+    }
+
+    // Step 3: admit; reserve and update duals per selected cloudlet.
+    Placement placement{request.id, {}};
+    placement.sites.reserve(selected.size());
+    for (const CloudletId j : selected) {
+        ledger_.reserve(j, request.arrival, request.end(), compute);
+        placement.sites.push_back(Site{j, 1});
+
+        const edge::Cloudlet& cloudlet = instance_.network.cloudlet(j);
+        const double log_pair = vnf::offsite_log_failure(vnf_rel, cloudlet.reliability);
+        // Eq. 67 against the (possibly scaled) capacity;
+        // ln(1-R)/ln(1-r_f r_c) > 0, so lambda grows monotonically.
+        const double ratio = log_target / log_pair;
+        const double cap = cloudlet.capacity * dual_scale_;
+        const double mult = 1.0 + ratio * compute / cap;
+        const double add = ratio * compute * request.payment / (request.duration * cap);
+        auto& lam = lambda_[j.index()];
+        for (TimeSlot t = request.arrival; t < request.end(); ++t) {
+            auto& value = lam[static_cast<std::size_t>(t)];
+            value = value * mult + add;
+        }
+    }
+
+    Decision d;
+    d.admitted = true;
+    d.placement = std::move(placement);
+    return d;
+}
+
+}  // namespace vnfr::core

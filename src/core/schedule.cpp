@@ -1,0 +1,71 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/instance.hpp"
+
+namespace vnfr::core {
+
+double Placement::compute_per_slot(double per_instance) const {
+    double total = 0.0;
+    for (const Site& s : sites) total += per_instance * s.replicas;
+    return total;
+}
+
+ScheduleResult run_online(const Instance& instance, OnlineScheduler& scheduler) {
+    ScheduleResult result;
+    result.decisions.reserve(instance.requests.size());
+    for (const workload::Request& r : instance.requests) {
+        Decision d = scheduler.decide(r);
+        if (d.admitted) {
+            result.revenue += r.payment;
+            ++result.admitted;
+        }
+        result.decisions.push_back(std::move(d));
+    }
+    const edge::ResourceLedger& ledger = scheduler.ledger();
+    result.max_overshoot = ledger.max_overshoot();
+    for (std::size_t j = 0; j < ledger.cloudlet_count(); ++j) {
+        const CloudletId c{static_cast<std::int64_t>(j)};
+        for (TimeSlot t = 0; t < ledger.horizon(); ++t) {
+            result.max_load_factor =
+                std::max(result.max_load_factor, ledger.usage(c, t) / ledger.capacity(c));
+        }
+    }
+    return result;
+}
+
+double acceptance_ratio(const ScheduleResult& result, const Instance& instance) {
+    if (instance.requests.empty()) return 0.0;
+    return static_cast<double>(result.admitted) /
+           static_cast<double>(instance.requests.size());
+}
+
+const char* to_string(RejectReason reason) {
+    switch (reason) {
+        case RejectReason::kNone: return "none";
+        case RejectReason::kInfeasibleRequirement: return "infeasible-requirement";
+        case RejectReason::kPricedOut: return "priced-out";
+        case RejectReason::kNoCapacity: return "no-capacity";
+    }
+    return "?";
+}
+
+RejectionBreakdown rejection_breakdown(const ScheduleResult& result) {
+    RejectionBreakdown breakdown;
+    for (const Decision& d : result.decisions) {
+        if (d.admitted) continue;
+        switch (d.reject_reason) {
+            case RejectReason::kInfeasibleRequirement:
+                ++breakdown.infeasible_requirement;
+                break;
+            case RejectReason::kPricedOut: ++breakdown.priced_out; break;
+            case RejectReason::kNoCapacity: ++breakdown.no_capacity; break;
+            case RejectReason::kNone: break;
+        }
+    }
+    return breakdown;
+}
+
+}  // namespace vnfr::core

@@ -1,0 +1,46 @@
+// Independent verification of a finished schedule against the paper's
+// constraints — used by tests, the CLI and downstream users to check any
+// scheduler's output without trusting its internal ledger.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace vnfr::core {
+
+/// One constraint violation found by verify_schedule.
+struct ScheduleViolation {
+    enum class Kind {
+        kDecisionCountMismatch,   ///< decisions.size() != requests.size()
+        kEmptyPlacement,          ///< admitted without any site
+        kUnknownCloudlet,         ///< site references a cloudlet not in the network
+        kNonPositiveReplicas,     ///< site with replicas < 1
+        kDuplicateSite,           ///< same cloudlet listed twice in one placement
+        kCapacityExceeded,        ///< per-slot cloudlet usage above capacity (4)/(9)
+        kReliabilityNotMet,       ///< availability below R_i (2)/(10)
+    };
+    Kind kind;
+    std::string detail;
+};
+
+struct VerificationReport {
+    std::vector<ScheduleViolation> violations;
+    double revenue{0};       ///< recomputed from admitted payments
+    std::size_t admitted{0};
+    double max_load_factor{0};
+
+    [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Replays `decisions` against a fresh ledger and the reliability model.
+/// `capacity_tolerance` allows the pure Algorithm 1 variant's bounded
+/// overshoot to be verified against a relaxed capacity (pass the Lemma 8
+/// factor xi); 1.0 checks the paper's hard constraints (4)/(9).
+VerificationReport verify_schedule(const Instance& instance,
+                                   const std::vector<Decision>& decisions,
+                                   double capacity_tolerance = 1.0);
+
+}  // namespace vnfr::core

@@ -1,0 +1,16 @@
+// A cloudlet c_j: a server cluster co-located with an access point, with a
+// computing capacity cap_j (in computing units) and a reliability r(c_j).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace vnfr::edge {
+
+struct Cloudlet {
+    CloudletId id;
+    NodeId node;        ///< AP the cloudlet is co-located with.
+    double capacity;    ///< cap_j > 0, computing units available per slot.
+    double reliability; ///< r(c_j) in (0, 1).
+};
+
+}  // namespace vnfr::edge

@@ -1,0 +1,104 @@
+#include "edge/resource_ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vnfr::edge {
+
+ResourceLedger::ResourceLedger(std::vector<double> capacities, TimeSlot horizon,
+                               CapacityPolicy policy)
+    : capacities_(std::move(capacities)), horizon_(horizon), policy_(policy) {
+    if (horizon_ <= 0) throw std::invalid_argument("ResourceLedger: non-positive horizon");
+    for (const double cap : capacities_) {
+        if (cap <= 0.0) throw std::invalid_argument("ResourceLedger: non-positive capacity");
+    }
+    usage_.assign(capacities_.size() * static_cast<std::size_t>(horizon_), 0.0);
+}
+
+void ResourceLedger::check_range(CloudletId c, TimeSlot begin, TimeSlot end,
+                                 double amount) const {
+    if (!c.valid() || c.index() >= capacities_.size())
+        throw std::invalid_argument("ResourceLedger: unknown cloudlet");
+    if (begin < 0 || end > horizon_ || begin >= end)
+        throw std::invalid_argument("ResourceLedger: bad slot range");
+    if (amount < 0.0) throw std::invalid_argument("ResourceLedger: negative amount");
+}
+
+double& ResourceLedger::cell(CloudletId c, TimeSlot t) {
+    return usage_[c.index() * static_cast<std::size_t>(horizon_) +
+                  static_cast<std::size_t>(t)];
+}
+
+const double& ResourceLedger::cell(CloudletId c, TimeSlot t) const {
+    return usage_[c.index() * static_cast<std::size_t>(horizon_) +
+                  static_cast<std::size_t>(t)];
+}
+
+bool ResourceLedger::fits(CloudletId c, TimeSlot begin, TimeSlot end, double amount) const {
+    check_range(c, begin, end, amount);
+    const double cap = capacities_[c.index()];
+    for (TimeSlot t = begin; t < end; ++t) {
+        // Small epsilon absorbs accumulated floating point error in sums of
+        // compute units; demands are integral in the paper's setting.
+        if (cell(c, t) + amount > cap + 1e-9) return false;
+    }
+    return true;
+}
+
+bool ResourceLedger::reserve(CloudletId c, TimeSlot begin, TimeSlot end, double amount) {
+    check_range(c, begin, end, amount);
+    if (policy_ == CapacityPolicy::kEnforce && !fits(c, begin, end, amount)) return false;
+    for (TimeSlot t = begin; t < end; ++t) cell(c, t) += amount;
+    return true;
+}
+
+void ResourceLedger::release(CloudletId c, TimeSlot begin, TimeSlot end, double amount) {
+    check_range(c, begin, end, amount);
+    for (TimeSlot t = begin; t < end; ++t) {
+        if (cell(c, t) < amount - 1e-9)
+            throw std::logic_error("ResourceLedger::release: usage would go negative");
+        cell(c, t) = std::max(0.0, cell(c, t) - amount);
+    }
+}
+
+double ResourceLedger::usage(CloudletId c, TimeSlot t) const {
+    check_range(c, t, t + 1, 0.0);
+    return cell(c, t);
+}
+
+double ResourceLedger::residual(CloudletId c, TimeSlot t) const {
+    check_range(c, t, t + 1, 0.0);
+    return capacities_[c.index()] - cell(c, t);
+}
+
+double ResourceLedger::capacity(CloudletId c) const {
+    if (!c.valid() || c.index() >= capacities_.size())
+        throw std::invalid_argument("ResourceLedger: unknown cloudlet");
+    return capacities_[c.index()];
+}
+
+double ResourceLedger::peak_overshoot(CloudletId c) const {
+    const double cap = capacity(c);
+    double worst = 0.0;
+    for (TimeSlot t = 0; t < horizon_; ++t) {
+        worst = std::max(worst, cell(c, t) - cap);
+    }
+    return worst;
+}
+
+double ResourceLedger::max_overshoot() const {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < capacities_.size(); ++j) {
+        worst = std::max(worst, peak_overshoot(CloudletId{static_cast<std::int64_t>(j)}));
+    }
+    return worst;
+}
+
+double ResourceLedger::mean_utilization(CloudletId c) const {
+    const double cap = capacity(c);
+    double total = 0.0;
+    for (TimeSlot t = 0; t < horizon_; ++t) total += cell(c, t) / cap;
+    return total / static_cast<double>(horizon_);
+}
+
+}  // namespace vnfr::edge

@@ -1,0 +1,71 @@
+#include "edge/visualization.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace vnfr::edge {
+
+namespace {
+
+void write_nodes(std::ostream& os, const net::Graph& graph, const MecNetwork* network,
+                 const DotOptions& options) {
+    for (std::size_t v = 0; v < graph.node_count(); ++v) {
+        const NodeId id{static_cast<std::int64_t>(v)};
+        const std::string& name = graph.node_name(id);
+        os << "  n" << v << " [label=\"" << (name.empty() ? std::to_string(v) : name);
+        bool hosts_cloudlet = false;
+        if (network) {
+            const CloudletId c = network->cloudlet_at(id);
+            if (c.valid()) {
+                hosts_cloudlet = true;
+                const Cloudlet& cloudlet = network->cloudlet(c);
+                os << "\\ncap=" << cloudlet.capacity << " r=" << cloudlet.reliability;
+            }
+        }
+        os << '"';
+        if (hosts_cloudlet) os << ", shape=doublecircle";
+        if (options.use_coordinates) {
+            os << ", pos=\"" << graph.node_x(id) * options.coordinate_scale << ','
+               << graph.node_y(id) * options.coordinate_scale << "!\"";
+        }
+        os << "];\n";
+    }
+}
+
+void write_edges(std::ostream& os, const net::Graph& graph) {
+    for (const net::Edge& e : graph.edges()) {
+        os << "  n" << e.a.value << " -- n" << e.b.value << " [label=\"" << std::fixed
+           << std::setprecision(1) << e.weight << "\"];\n";
+    }
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const net::Graph& graph, const DotOptions& options) {
+    os << "graph " << options.graph_name << " {\n  layout=neato;\n";
+    write_nodes(os, graph, nullptr, options);
+    write_edges(os, graph);
+    os << "}\n";
+}
+
+void write_dot(std::ostream& os, const MecNetwork& network, const DotOptions& options) {
+    os << "graph " << options.graph_name << " {\n  layout=neato;\n";
+    write_nodes(os, network.graph(), &network, options);
+    write_edges(os, network.graph());
+    os << "}\n";
+}
+
+std::string to_dot(const net::Graph& graph, const DotOptions& options) {
+    std::ostringstream os;
+    write_dot(os, graph, options);
+    return os.str();
+}
+
+std::string to_dot(const MecNetwork& network, const DotOptions& options) {
+    std::ostringstream os;
+    write_dot(os, network, options);
+    return os.str();
+}
+
+}  // namespace vnfr::edge

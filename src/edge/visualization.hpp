@@ -1,0 +1,31 @@
+// Graphviz DOT export of topologies and MEC networks, so networks and
+// cloudlet placements can be visualized with standard tooling:
+//   dot -Kneato -Tpng topology.dot -o topology.png
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "edge/mec_network.hpp"
+#include "net/graph.hpp"
+
+namespace vnfr::edge {
+
+struct DotOptions {
+    std::string graph_name{"vnfr"};
+    bool use_coordinates{true};  ///< emit pos="x,y!" from node coordinates
+    double coordinate_scale{1.0};
+};
+
+/// Writes an undirected DOT graph; node labels are the node names (or ids
+/// when unnamed), edge labels the link weights.
+void write_dot(std::ostream& os, const net::Graph& graph, const DotOptions& options = {});
+
+/// As above, additionally highlighting cloudlet-hosting APs (doublecircle,
+/// labelled with capacity and reliability).
+void write_dot(std::ostream& os, const MecNetwork& network, const DotOptions& options = {});
+
+std::string to_dot(const net::Graph& graph, const DotOptions& options = {});
+std::string to_dot(const MecNetwork& network, const DotOptions& options = {});
+
+}  // namespace vnfr::edge

@@ -1,0 +1,33 @@
+// Structural graph utilities: connectivity, components, diameter.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/graph.hpp"
+
+namespace vnfr::net {
+
+/// True when every node is reachable from every other (a single component
+/// covering the whole graph). The empty graph counts as connected.
+bool is_connected(const Graph& g);
+
+/// Component label per node, labels dense in [0, count).
+struct Components {
+    std::vector<int> label;
+    int count{0};
+};
+
+Components connected_components(const Graph& g);
+
+/// Weighted diameter: the largest finite pairwise distance. Throws
+/// std::invalid_argument on an empty graph; returns infinity if disconnected.
+double weighted_diameter(const Graph& g);
+
+/// Hop diameter: largest pairwise hop count; -1 if disconnected.
+int hop_diameter(const Graph& g);
+
+/// Mean node degree; 0 on the empty graph.
+double average_degree(const Graph& g);
+
+}  // namespace vnfr::net

@@ -1,0 +1,290 @@
+#include "net/topology_zoo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace vnfr::net {
+
+namespace {
+
+struct NodeSpec {
+    const char* name;
+    double x;  ///< longitude (degrees)
+    double y;  ///< latitude (degrees)
+};
+
+struct TopologySpec {
+    const char* name;
+    std::vector<NodeSpec> nodes;
+    std::vector<std::pair<int, int>> links;
+};
+
+Graph build(const TopologySpec& spec) {
+    Graph g;
+    for (const NodeSpec& n : spec.nodes) g.add_node(n.name, n.x, n.y);
+    for (const auto& [a, b] : spec.links) {
+        const NodeId na{a};
+        const NodeId nb{b};
+        // Degree-space Euclidean distance is a fine proxy for link length at
+        // backbone scale; floor keeps weights strictly positive.
+        const double w = std::max(g.euclidean(na, nb), 0.1);
+        g.add_edge(na, nb, w);
+    }
+    return g;
+}
+
+TopologySpec abilene_spec() {
+    return TopologySpec{
+        "abilene",
+        {
+            {"Seattle", -122.33, 47.61},
+            {"Sunnyvale", -122.04, 37.37},
+            {"Denver", -104.99, 39.74},
+            {"LosAngeles", -118.24, 34.05},
+            {"Houston", -95.37, 29.76},
+            {"KansasCity", -94.58, 39.10},
+            {"Indianapolis", -86.16, 39.77},
+            {"Atlanta", -84.39, 33.75},
+            {"Chicago", -87.63, 41.88},
+            {"WashingtonDC", -77.04, 38.91},
+            {"NewYork", -74.01, 40.71},
+        },
+        {
+            {0, 1}, {0, 2}, {1, 2}, {1, 3}, {3, 4}, {2, 5}, {4, 5}, {4, 7},
+            {5, 6}, {6, 8}, {6, 7}, {7, 9}, {8, 10}, {9, 10},
+        },
+    };
+}
+
+TopologySpec nsfnet_spec() {
+    return TopologySpec{
+        "nsfnet",
+        {
+            {"Seattle", -122.33, 47.61},    // 0
+            {"PaloAlto", -122.14, 37.44},   // 1
+            {"SanDiego", -117.16, 32.72},   // 2
+            {"SaltLake", -111.89, 40.76},   // 3
+            {"Boulder", -105.27, 40.02},    // 4
+            {"Houston", -95.37, 29.76},     // 5
+            {"Lincoln", -96.70, 40.81},     // 6
+            {"Champaign", -88.24, 40.12},   // 7
+            {"Pittsburgh", -79.99, 40.44},  // 8
+            {"Atlanta", -84.39, 33.75},     // 9
+            {"AnnArbor", -83.74, 42.28},    // 10
+            {"Ithaca", -76.50, 42.44},      // 11
+            {"Princeton", -74.66, 40.35},   // 12
+            {"CollegePark", -76.94, 38.99}, // 13
+        },
+        {
+            {0, 1}, {0, 2}, {0, 7}, {1, 2}, {1, 3}, {2, 5}, {3, 4}, {3, 10},
+            {4, 5}, {4, 6}, {5, 9}, {5, 12}, {6, 7}, {7, 8}, {8, 9}, {8, 11},
+            {8, 13}, {9, 10}, {10, 11}, {11, 12}, {12, 13},
+        },
+    };
+}
+
+TopologySpec geant_spec() {
+    return TopologySpec{
+        "geant",
+        {
+            {"Vienna", 16.37, 48.21},      // 0  AT
+            {"Brussels", 4.35, 50.85},     // 1  BE
+            {"Zurich", 8.54, 47.37},       // 2  CH
+            {"Prague", 14.44, 50.08},      // 3  CZ
+            {"Frankfurt", 8.68, 50.11},    // 4  DE
+            {"Copenhagen", 12.57, 55.69},  // 5  DK
+            {"Madrid", -3.70, 40.42},      // 6  ES
+            {"Tallinn", 24.75, 59.44},     // 7  EE
+            {"Paris", 2.35, 48.86},        // 8  FR
+            {"Athens", 23.73, 37.98},      // 9  GR
+            {"Zagreb", 15.98, 45.81},      // 10 HR
+            {"Budapest", 19.04, 47.50},    // 11 HU
+            {"Dublin", -6.26, 53.35},      // 12 IE
+            {"Tel-Aviv", 34.78, 32.09},    // 13 IL
+            {"Milan", 9.19, 45.46},        // 14 IT
+            {"Luxembourg", 6.13, 49.61},   // 15 LU
+            {"Amsterdam", 4.90, 52.37},    // 16 NL
+            {"Oslo", 10.75, 59.91},        // 17 NO
+            {"Poznan", 16.93, 52.41},      // 18 PL
+            {"Lisbon", -9.14, 38.72},      // 19 PT
+            {"Stockholm", 18.07, 59.33},   // 20 SE
+            {"Ljubljana", 14.51, 46.05},   // 21 SI
+            {"London", -0.13, 51.51},      // 22 UK
+        },
+        {
+            {0, 3},  {0, 11}, {0, 14}, {0, 21}, {0, 4},  {1, 4},  {1, 8},
+            {1, 16}, {2, 4},  {2, 14}, {2, 8},  {3, 4},  {3, 18}, {4, 5},
+            {4, 16}, {4, 15}, {4, 9},  {5, 17}, {5, 20}, {5, 7},  {6, 8},
+            {6, 19}, {6, 14}, {7, 20}, {8, 15}, {8, 22}, {8, 19}, {9, 14},
+            {10, 11}, {10, 21}, {11, 18}, {12, 22}, {13, 9}, {13, 14},
+            {16, 22}, {17, 20}, {20, 18},
+        },
+    };
+}
+
+TopologySpec att_spec() {
+    return TopologySpec{
+        "att",
+        {
+            {"Seattle", -122.33, 47.61},      // 0
+            {"Portland", -122.68, 45.52},     // 1
+            {"SanFrancisco", -122.42, 37.77}, // 2
+            {"LosAngeles", -118.24, 34.05},   // 3
+            {"SanDiego", -117.16, 32.72},     // 4
+            {"Phoenix", -112.07, 33.45},      // 5
+            {"SaltLake", -111.89, 40.76},     // 6
+            {"Denver", -104.99, 39.74},       // 7
+            {"Albuquerque", -106.65, 35.08},  // 8
+            {"Dallas", -96.80, 32.78},        // 9
+            {"Houston", -95.37, 29.76},       // 10
+            {"NewOrleans", -90.07, 29.95},    // 11
+            {"KansasCity", -94.58, 39.10},    // 12
+            {"StLouis", -90.20, 38.63},       // 13
+            {"Chicago", -87.63, 41.88},       // 14
+            {"Minneapolis", -93.27, 44.98},   // 15
+            {"Detroit", -83.05, 42.33},       // 16
+            {"Indianapolis", -86.16, 39.77},  // 17
+            {"Nashville", -86.78, 36.16},     // 18
+            {"Atlanta", -84.39, 33.75},       // 19
+            {"Miami", -80.19, 25.76},         // 20
+            {"Charlotte", -80.84, 35.23},     // 21
+            {"WashingtonDC", -77.04, 38.91},  // 22
+            {"Philadelphia", -75.17, 39.95},  // 23
+            {"NewYork", -74.01, 40.71},       // 24
+        },
+        {
+            {0, 1},  {0, 6},  {0, 14}, {1, 2},  {2, 3},  {2, 6},  {3, 4},
+            {3, 5},  {3, 9},  {4, 5},  {5, 8},  {6, 7},  {7, 8},  {7, 12},
+            {8, 9},  {9, 10}, {9, 12}, {10, 11}, {11, 19}, {12, 13}, {12, 15},
+            {13, 14}, {13, 18}, {14, 15}, {14, 16}, {14, 17}, {16, 24},
+            {17, 18}, {18, 19}, {19, 20}, {19, 21}, {20, 21}, {21, 22},
+            {22, 23}, {22, 19}, {23, 24}, {14, 24},
+        },
+    };
+}
+
+TopologySpec internet2_spec() {
+    return TopologySpec{
+        "internet2",
+        {
+            {"Seattle", -122.33, 47.61},      // 0
+            {"Portland", -122.68, 45.52},     // 1
+            {"Sunnyvale", -122.04, 37.37},    // 2
+            {"LosAngeles", -118.24, 34.05},   // 3
+            {"SaltLake", -111.89, 40.76},     // 4
+            {"LasVegas", -115.14, 36.17},     // 5
+            {"Phoenix", -112.07, 33.45},      // 6
+            {"Denver", -104.99, 39.74},       // 7
+            {"Albuquerque", -106.65, 35.08},  // 8
+            {"ElPaso", -106.49, 31.76},       // 9
+            {"KansasCity", -94.58, 39.10},    // 10
+            {"Dallas", -96.80, 32.78},        // 11
+            {"Houston", -95.37, 29.76},       // 12
+            {"Minneapolis", -93.27, 44.98},   // 13
+            {"Chicago", -87.63, 41.88},       // 14
+            {"StLouis", -90.20, 38.63},       // 15
+            {"Memphis", -90.05, 35.15},       // 16
+            {"BatonRouge", -91.19, 30.45},    // 17
+            {"Indianapolis", -86.16, 39.77},  // 18
+            {"Louisville", -85.76, 38.25},    // 19
+            {"Nashville", -86.78, 36.16},     // 20
+            {"Atlanta", -84.39, 33.75},       // 21
+            {"Jacksonville", -81.66, 30.33},  // 22
+            {"Miami", -80.19, 25.76},         // 23
+            {"Cleveland", -81.69, 41.50},     // 24
+            {"Pittsburgh", -79.99, 40.44},    // 25
+            {"Buffalo", -78.88, 42.89},       // 26
+            {"Boston", -71.06, 42.36},        // 27
+            {"NewYork", -74.01, 40.71},       // 28
+            {"Philadelphia", -75.17, 39.95},  // 29
+            {"WashingtonDC", -77.04, 38.91},  // 30
+            {"Raleigh", -78.64, 35.78},       // 31
+            {"Charlotte", -80.84, 35.23},     // 32
+            {"Tulsa", -95.99, 36.15},         // 33
+        },
+        {
+            {0, 1},  {0, 4},  {0, 13}, {1, 2},  {2, 3},  {2, 4},  {3, 5},
+            {3, 6},  {4, 7},  {5, 4},  {6, 8},  {7, 8},  {7, 10}, {8, 9},
+            {9, 12}, {10, 11}, {10, 14}, {10, 33}, {11, 12}, {11, 33},
+            {12, 17}, {13, 14}, {14, 15}, {14, 18}, {14, 24}, {15, 16},
+            {16, 17}, {16, 20}, {18, 19}, {19, 20}, {20, 21}, {21, 22},
+            {22, 23}, {21, 32}, {24, 25}, {24, 26}, {25, 30}, {26, 27},
+            {27, 28}, {28, 29}, {29, 30}, {30, 31}, {31, 32},
+        },
+    };
+}
+
+TopologySpec cost266_spec() {
+    return TopologySpec{
+        "cost266",
+        {
+            {"Amsterdam", 4.90, 52.37},    // 0
+            {"Athens", 23.73, 37.98},      // 1
+            {"Barcelona", 2.17, 41.39},    // 2
+            {"Belgrade", 20.46, 44.79},    // 3
+            {"Berlin", 13.40, 52.52},      // 4
+            {"Birmingham", -1.89, 52.48},  // 5
+            {"Bordeaux", -0.58, 44.84},    // 6
+            {"Brussels", 4.35, 50.85},     // 7
+            {"Budapest", 19.04, 47.50},    // 8
+            {"Copenhagen", 12.57, 55.69},  // 9
+            {"Dublin", -6.26, 53.35},      // 10
+            {"Dusseldorf", 6.78, 51.23},   // 11
+            {"Frankfurt", 8.68, 50.11},    // 12
+            {"Glasgow", -4.25, 55.86},     // 13
+            {"Hamburg", 9.99, 53.55},      // 14
+            {"Helsinki", 24.94, 60.17},    // 15
+            {"Krakow", 19.94, 50.06},      // 16
+            {"Lisbon", -9.14, 38.72},      // 17
+            {"London", -0.13, 51.51},      // 18
+            {"Lyon", 4.84, 45.76},         // 19
+            {"Madrid", -3.70, 40.42},      // 20
+            {"Marseille", 5.37, 43.30},    // 21
+            {"Milan", 9.19, 45.46},        // 22
+            {"Munich", 11.58, 48.14},      // 23
+            {"Oslo", 10.75, 59.91},        // 24
+            {"Paris", 2.35, 48.86},        // 25
+            {"Prague", 14.44, 50.08},      // 26
+            {"Rome", 12.50, 41.90},        // 27
+            {"Seville", -5.98, 37.39},     // 28
+            {"Sofia", 23.32, 42.70},       // 29
+            {"Stockholm", 18.07, 59.33},   // 30
+            {"Strasbourg", 7.75, 48.58},   // 31
+            {"Vienna", 16.37, 48.21},      // 32
+            {"Warsaw", 21.01, 52.23},      // 33
+            {"Zagreb", 15.98, 45.81},      // 34
+            {"Zurich", 8.54, 47.37},       // 35
+        },
+        {
+            {0, 7},  {0, 11}, {0, 14}, {0, 18}, {1, 29}, {1, 27}, {2, 20},
+            {2, 21}, {3, 8},  {3, 29}, {3, 34}, {4, 9},  {4, 14}, {4, 23},
+            {4, 33}, {5, 10}, {5, 13}, {5, 18}, {6, 20}, {6, 25}, {7, 11},
+            {7, 25}, {8, 16}, {8, 26}, {8, 32}, {9, 14}, {9, 24}, {9, 30},
+            {10, 13}, {11, 12}, {12, 14}, {12, 23}, {12, 31}, {13, 24},
+            {15, 24}, {15, 30}, {15, 33}, {16, 33}, {17, 18}, {17, 20},
+            {17, 28}, {18, 25}, {19, 21}, {19, 25}, {19, 31}, {20, 28},
+            {21, 27}, {22, 23}, {22, 27}, {22, 35}, {23, 32}, {25, 31},
+            {26, 32}, {26, 33}, {27, 34}, {29, 32}, {30, 33}, {31, 35},
+            {32, 34}, {25, 35},
+        },
+    };
+}
+
+}  // namespace
+
+std::vector<std::string> topology_names() {
+    return {"abilene", "nsfnet", "geant", "att", "internet2", "cost266"};
+}
+
+Graph load_topology(std::string_view name) {
+    if (name == "abilene") return build(abilene_spec());
+    if (name == "nsfnet") return build(nsfnet_spec());
+    if (name == "geant") return build(geant_spec());
+    if (name == "att") return build(att_spec());
+    if (name == "internet2") return build(internet2_spec());
+    if (name == "cost266") return build(cost266_spec());
+    throw std::invalid_argument("load_topology: unknown topology '" + std::string(name) + "'");
+}
+
+}  // namespace vnfr::net

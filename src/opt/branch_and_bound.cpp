@@ -1,0 +1,140 @@
+#include "opt/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace vnfr::opt {
+
+namespace {
+
+struct Node {
+    double parent_bound;  ///< LP bound inherited from the parent
+    std::vector<std::pair<std::size_t, double>> fixings;  ///< (var, 0 or 1)
+
+    friend bool operator<(const Node& a, const Node& b) {
+        // Best-first: larger bound explored first.
+        return a.parent_bound < b.parent_bound;
+    }
+};
+
+/// Index of the binary variable whose LP value is closest to 0.5, or
+/// binary_vars.size() when all are integral.
+std::size_t most_fractional(const std::vector<double>& x,
+                            const std::vector<std::size_t>& binary_vars, double tol) {
+    std::size_t best = binary_vars.size();
+    double best_score = tol;
+    for (std::size_t i = 0; i < binary_vars.size(); ++i) {
+        const double v = x[binary_vars[i]];
+        const double frac = std::fabs(v - std::round(v));
+        if (frac > best_score) {
+            best_score = frac;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+IlpSolution solve_ilp(const LinearProgram& lp, const std::vector<std::size_t>& binary_vars,
+                      const BnbOptions& options) {
+    for (const std::size_t v : binary_vars) {
+        if (v >= lp.variable_count())
+            throw std::invalid_argument("solve_ilp: unknown binary variable");
+        if (lp.lower_bound(v) < 0.0 || lp.upper_bound(v) > 1.0)
+            throw std::invalid_argument("solve_ilp: binary variable bounds outside [0,1]");
+    }
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(options.time_limit_seconds);
+
+    IlpSolution out;
+    std::priority_queue<Node> open;
+    open.push(Node{kInfinity, {}});
+
+    double incumbent = -kInfinity;
+    bool exhausted = true;
+
+    while (!open.empty()) {
+        if (out.nodes_explored >= options.max_nodes ||
+            std::chrono::steady_clock::now() >= deadline) {
+            exhausted = false;
+            break;
+        }
+        // With best-first order, the top parent bound is the global bound on
+        // everything unexplored; stop once it cannot beat the incumbent.
+        if (open.top().parent_bound <= incumbent + options.gap_tolerance) break;
+
+        const Node node = open.top();
+        open.pop();
+        ++out.nodes_explored;
+
+        LinearProgram sub = lp;
+        bool fixings_feasible = true;
+        for (const auto& [var, val] : node.fixings) {
+            // set_bounds overwrites, so guard against widening a bound the
+            // base model (e.g. a presolved one) has already tightened: a
+            // fixing outside the variable's own range is infeasible.
+            if (val < lp.lower_bound(var) - options.integrality_tolerance ||
+                val > lp.upper_bound(var) + options.integrality_tolerance) {
+                fixings_feasible = false;
+                break;
+            }
+            sub.set_bounds(var, val, val);
+        }
+        if (!fixings_feasible) continue;
+
+        const LpSolution relax = solve_lp(sub, options.lp_options);
+        if (relax.status == SolveStatus::kInfeasible) continue;
+        if (relax.status != SolveStatus::kOptimal) {
+            // Unbounded or iteration-limited relaxation: we cannot bound
+            // this subtree, so the final answer is not proven.
+            exhausted = false;
+            continue;
+        }
+        if (relax.objective <= incumbent + options.gap_tolerance) continue;
+
+        const std::size_t branch_idx =
+            most_fractional(relax.x, binary_vars, options.integrality_tolerance);
+        if (branch_idx == binary_vars.size()) {
+            // Integral on all binaries: candidate incumbent.
+            if (relax.objective > incumbent) {
+                incumbent = relax.objective;
+                out.objective = relax.objective;
+                out.x = relax.x;
+                // Snap binaries exactly.
+                for (const std::size_t v : binary_vars) out.x[v] = std::round(out.x[v]);
+                out.has_incumbent = true;
+            }
+            continue;
+        }
+
+        const std::size_t var = binary_vars[branch_idx];
+        for (const double val : {1.0, 0.0}) {
+            Node child;
+            child.parent_bound = relax.objective;
+            child.fixings = node.fixings;
+            child.fixings.emplace_back(var, val);
+            open.push(std::move(child));
+        }
+    }
+
+    // Global upper bound: best unexplored node bound vs incumbent.
+    double bound = incumbent;
+    if (!open.empty()) bound = std::max(bound, open.top().parent_bound);
+    if (!out.has_incumbent && open.empty() && exhausted) {
+        out.infeasible = true;
+        out.best_bound = -kInfinity;
+        return out;
+    }
+    out.best_bound = bound == kInfinity ? kInfinity : bound;
+    out.proven_optimal = exhausted && out.has_incumbent &&
+                         (open.empty() ||
+                          open.top().parent_bound <= incumbent + options.gap_tolerance);
+    return out;
+}
+
+}  // namespace vnfr::opt

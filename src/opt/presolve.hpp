@@ -1,0 +1,45 @@
+// LP presolve: cheap, provably safe reductions applied before the simplex.
+//
+//  * substitute out fixed variables (lower == upper),
+//  * drop empty rows (detecting trivial infeasibility),
+//  * turn singleton rows into variable bounds (fixing on equality),
+// iterated to a fixpoint. On the offline models this strips the columns
+// branch-and-bound has fixed and the rows they empty, shrinking every node
+// LP.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "opt/lp.hpp"
+
+namespace vnfr::opt {
+
+struct PresolveResult {
+    /// The reduced program (valid only when !infeasible).
+    LinearProgram reduced;
+    /// Trivial infeasibility detected (empty row that cannot hold, or
+    /// contradictory singleton bounds).
+    bool infeasible{false};
+    /// reduced variable index -> original variable index.
+    std::vector<std::size_t> kept;
+    /// Original-indexed values of substituted-out variables (meaningful
+    /// where `is_fixed` is set).
+    std::vector<double> fixed_values;
+    std::vector<char> is_fixed;
+    /// Objective contribution of the substituted variables: the reduced
+    /// optimum plus this offset equals the original optimum.
+    double objective_offset{0};
+    std::size_t removed_rows{0};
+    std::size_t removed_variables{0};
+
+    /// Lifts a reduced-space solution back to the original variable space.
+    [[nodiscard]] std::vector<double> restore(const std::vector<double>& reduced_x) const;
+};
+
+/// Applies the reductions to `lp`. The reduced program's optimum (plus
+/// `objective_offset`) equals the original optimum, and restore() maps
+/// solutions back.
+PresolveResult presolve(const LinearProgram& lp);
+
+}  // namespace vnfr::opt

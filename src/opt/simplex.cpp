@@ -1,0 +1,521 @@
+#include "opt/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vnfr::opt {
+
+namespace {
+
+/// Standard computational form shared by the two phases:
+///     min cost^T z   s.t.  M z = b,  0 <= z_j <= ub_j
+/// where z = [shifted structural vars | slacks/surplus | artificials].
+/// Variable bounds are handled natively by the bounded-variable simplex —
+/// they never become rows.
+struct StandardForm {
+    std::size_t rows{0};
+    std::size_t structural_count{0};
+    std::vector<std::vector<std::pair<std::size_t, double>>> columns;  ///< CSC
+    std::vector<double> cost;       ///< phase-2 cost (min sense)
+    std::vector<double> ub;         ///< per column; kInfinity when free above
+    std::vector<char> artificial;   ///< per column
+    std::vector<double> b;          ///< >= 0 after normalization
+    std::vector<double> row_sign;   ///< +1/-1 applied during normalization
+    std::size_t original_rows{0};
+    std::vector<double> lower;      ///< per user variable (the shift)
+};
+
+StandardForm build_standard_form(const LinearProgram& lp) {
+    StandardForm sf;
+    const std::size_t n = lp.variable_count();
+    sf.structural_count = n;
+    sf.lower.resize(n);
+    sf.rows = lp.row_count();
+    sf.original_rows = lp.row_count();
+
+    for (std::size_t j = 0; j < n; ++j) {
+        sf.lower[j] = lp.lower_bound(j);
+        if (lp.upper_bound(j) < sf.lower[j])
+            throw std::invalid_argument("simplex: upper < lower");
+    }
+
+    struct WorkRow {
+        Relation relation;
+        double rhs;
+    };
+    std::vector<WorkRow> work(sf.rows);
+    sf.b.resize(sf.rows);
+    sf.row_sign.assign(sf.rows, 1.0);
+
+    for (std::size_t k = 0; k < sf.rows; ++k) {
+        const Row& r = lp.row(k);
+        double rhs = r.rhs;
+        for (const auto& [var, coeff] : r.terms) rhs -= coeff * sf.lower[var];
+        Relation rel = r.relation;
+        double sign = 1.0;
+        if (rhs < 0.0) {
+            sign = -1.0;
+            rhs = -rhs;
+            if (rel == Relation::kLe) rel = Relation::kGe;
+            else if (rel == Relation::kGe) rel = Relation::kLe;
+        }
+        work[k] = WorkRow{rel, rhs};
+        sf.row_sign[k] = sign;
+        sf.b[k] = rhs;
+    }
+
+    // Structural columns (phase-2 cost = -c to minimize), shifted bounds.
+    sf.columns.assign(n, {});
+    sf.cost.assign(n, 0.0);
+    sf.ub.assign(n, kInfinity);
+    sf.artificial.assign(n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+        sf.cost[j] = -lp.objective_coefficient(j);
+        const double u = lp.upper_bound(j);
+        sf.ub[j] = u == kInfinity ? kInfinity : u - sf.lower[j];
+    }
+    for (std::size_t k = 0; k < lp.row_count(); ++k) {
+        for (const auto& [var, coeff] : lp.row(k).terms) {
+            sf.columns[var].push_back({k, sf.row_sign[k] * coeff});
+        }
+    }
+
+    // Slack (<=) and surplus (>=) columns; artificials are appended when
+    // the initial basis is installed.
+    for (std::size_t k = 0; k < sf.rows; ++k) {
+        const Relation rel = work[k].relation;
+        if (rel == Relation::kLe) {
+            sf.columns.push_back({{k, 1.0}});
+            sf.cost.push_back(0.0);
+            sf.ub.push_back(kInfinity);
+            sf.artificial.push_back(0);
+        } else if (rel == Relation::kGe) {
+            sf.columns.push_back({{k, -1.0}});
+            sf.cost.push_back(0.0);
+            sf.ub.push_back(kInfinity);
+            sf.artificial.push_back(0);
+        }
+    }
+    return sf;
+}
+
+enum class VarStatus : char { kBasic, kAtLower, kAtUpper };
+
+class RevisedSimplex {
+  public:
+    RevisedSimplex(StandardForm sf, const SimplexOptions& opt)
+        : sf_(std::move(sf)), opt_(opt), m_(sf_.rows) {}
+
+    LpSolution run(const LinearProgram& lp);
+
+  private:
+    enum class StepResult { kOptimal, kUnbounded, kMoved };
+
+    void install_initial_basis();
+    void refactorize();
+    void compute_duals(const std::vector<double>& cost, std::vector<double>& y) const;
+    StepResult step(const std::vector<double>& cost, bool blands);
+    void drive_out_artificials();
+    [[nodiscard]] double reduced_cost(std::size_t j, const std::vector<double>& cost,
+                                      const std::vector<double>& y) const;
+    void ftran(std::size_t j, std::vector<double>& w) const;
+    void pivot(std::size_t entering, std::size_t leaving_row, double entering_value,
+               VarStatus leaving_status, const std::vector<double>& w);
+    [[nodiscard]] double objective_of(const std::vector<double>& cost) const;
+    [[nodiscard]] double nonbasic_value(std::size_t j) const {
+        return status_[j] == VarStatus::kAtUpper ? sf_.ub[j] : 0.0;
+    }
+
+    StandardForm sf_;
+    SimplexOptions opt_;
+    std::size_t m_;
+
+    std::vector<std::size_t> basis_;  ///< column per row
+    std::vector<VarStatus> status_;   ///< per column
+    std::vector<double> binv_;        ///< dense row-major m x m
+    std::vector<double> xb_;          ///< basic variable values
+    std::vector<char> allowed_;       ///< columns allowed to enter
+    std::size_t iterations_{0};
+    std::size_t pivots_since_refactor_{0};
+    // Scratch buffers reused across iterations.
+    std::vector<double> y_scratch_;
+    std::vector<double> w_scratch_;
+};
+
+void RevisedSimplex::install_initial_basis() {
+    basis_.assign(m_, 0);
+    std::vector<char> has_basic(m_, 0);
+
+    // Slacks (+1 columns) form the natural starting basis where available.
+    for (std::size_t j = sf_.structural_count; j < sf_.columns.size(); ++j) {
+        const auto& col = sf_.columns[j];
+        if (col.size() == 1 && col[0].second == 1.0 && !has_basic[col[0].first]) {
+            basis_[col[0].first] = j;
+            has_basic[col[0].first] = 1;
+        }
+    }
+    // Artificials cover >= and = rows.
+    for (std::size_t k = 0; k < m_; ++k) {
+        if (has_basic[k]) continue;
+        sf_.columns.push_back({{k, 1.0}});
+        sf_.cost.push_back(0.0);
+        sf_.ub.push_back(kInfinity);
+        sf_.artificial.push_back(1);
+        basis_[k] = sf_.columns.size() - 1;
+    }
+
+    status_.assign(sf_.columns.size(), VarStatus::kAtLower);
+    for (const std::size_t j : basis_) status_[j] = VarStatus::kBasic;
+
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) binv_[i * m_ + i] = 1.0;
+    xb_ = sf_.b;  // all structural nonbasics start at lower (0)
+}
+
+void RevisedSimplex::refactorize() {
+    // Invert the basis matrix with Gauss-Jordan and partial pivoting.
+    std::vector<double> mat(m_ * m_, 0.0);
+    for (std::size_t col = 0; col < m_; ++col) {
+        for (const auto& [row, val] : sf_.columns[basis_[col]]) {
+            mat[row * m_ + col] = val;
+        }
+    }
+    std::vector<double> inv(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+
+    for (std::size_t col = 0; col < m_; ++col) {
+        std::size_t pivot_row = col;
+        double best = std::fabs(mat[col * m_ + col]);
+        for (std::size_t r = col + 1; r < m_; ++r) {
+            const double v = std::fabs(mat[r * m_ + col]);
+            if (v > best) {
+                best = v;
+                pivot_row = r;
+            }
+        }
+        if (best < 1e-12) throw std::runtime_error("simplex: singular basis");
+        if (pivot_row != col) {
+            for (std::size_t c = 0; c < m_; ++c) {
+                std::swap(mat[pivot_row * m_ + c], mat[col * m_ + c]);
+                std::swap(inv[pivot_row * m_ + c], inv[col * m_ + c]);
+            }
+        }
+        const double p = mat[col * m_ + col];
+        for (std::size_t c = 0; c < m_; ++c) {
+            mat[col * m_ + c] /= p;
+            inv[col * m_ + c] /= p;
+        }
+        for (std::size_t r = 0; r < m_; ++r) {
+            if (r == col) continue;
+            const double f = mat[r * m_ + col];
+            if (f == 0.0) continue;
+            for (std::size_t c = 0; c < m_; ++c) {
+                mat[r * m_ + c] -= f * mat[col * m_ + c];
+                inv[r * m_ + c] -= f * inv[col * m_ + c];
+            }
+        }
+    }
+    binv_ = std::move(inv);
+
+    // Recompute basic values: xb = B^-1 (b - sum_{j at upper} a_j ub_j).
+    std::vector<double> rhs = sf_.b;
+    for (std::size_t j = 0; j < sf_.columns.size(); ++j) {
+        if (status_[j] != VarStatus::kAtUpper) continue;
+        for (const auto& [row, val] : sf_.columns[j]) rhs[row] -= val * sf_.ub[j];
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+        double v = 0.0;
+        for (std::size_t r = 0; r < m_; ++r) v += binv_[i * m_ + r] * rhs[r];
+        xb_[i] = v;
+    }
+    pivots_since_refactor_ = 0;
+}
+
+void RevisedSimplex::compute_duals(const std::vector<double>& cost,
+                                   std::vector<double>& y) const {
+    y.assign(m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+        const double cb = cost[basis_[r]];
+        if (cb == 0.0) continue;
+        const double* row = &binv_[r * m_];
+        for (std::size_t i = 0; i < m_; ++i) y[i] += cb * row[i];
+    }
+}
+
+double RevisedSimplex::reduced_cost(std::size_t j, const std::vector<double>& cost,
+                                    const std::vector<double>& y) const {
+    double d = cost[j];
+    for (const auto& [row, val] : sf_.columns[j]) d -= y[row] * val;
+    return d;
+}
+
+void RevisedSimplex::ftran(std::size_t j, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    for (const auto& [row, val] : sf_.columns[j]) {
+        const std::size_t col = row;
+        for (std::size_t i = 0; i < m_; ++i) w[i] += binv_[i * m_ + col] * val;
+    }
+}
+
+double RevisedSimplex::objective_of(const std::vector<double>& cost) const {
+    double v = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) v += cost[basis_[i]] * xb_[i];
+    for (std::size_t j = 0; j < sf_.columns.size(); ++j) {
+        if (status_[j] == VarStatus::kAtUpper) v += cost[j] * sf_.ub[j];
+    }
+    return v;
+}
+
+void RevisedSimplex::pivot(std::size_t entering, std::size_t leaving_row,
+                           double entering_value, VarStatus leaving_status,
+                           const std::vector<double>& w) {
+    const double pivot_val = w[leaving_row];
+    double* prow = &binv_[leaving_row * m_];
+    for (std::size_t c = 0; c < m_; ++c) prow[c] /= pivot_val;
+    for (std::size_t i = 0; i < m_; ++i) {
+        if (i == leaving_row) continue;
+        const double f = w[i];
+        if (f == 0.0) continue;
+        double* irow = &binv_[i * m_];
+        for (std::size_t c = 0; c < m_; ++c) irow[c] -= f * prow[c];
+    }
+
+    status_[basis_[leaving_row]] = leaving_status;
+    status_[entering] = VarStatus::kBasic;
+    basis_[leaving_row] = entering;
+    xb_[leaving_row] = entering_value;
+    ++pivots_since_refactor_;
+}
+
+void RevisedSimplex::drive_out_artificials() {
+    std::vector<double> w;
+    for (std::size_t i = 0; i < m_; ++i) {
+        if (!sf_.artificial[basis_[i]]) continue;
+        for (std::size_t j = 0; j < sf_.columns.size(); ++j) {
+            if (status_[j] == VarStatus::kBasic || sf_.artificial[j]) continue;
+            ftran(j, w);
+            if (std::fabs(w[i]) > 1e-7) {
+                // Zero-level swap: the artificial sits at ~0, so replacing
+                // it with column j at its current bound value keeps x fixed.
+                const double keep = nonbasic_value(j);
+                // The entering variable stays at its bound value; only the
+                // basis bookkeeping changes.
+                status_[basis_[i]] = VarStatus::kAtLower;
+                status_[j] = VarStatus::kBasic;
+                basis_[i] = j;
+                // Update the inverse for the swapped column.
+                const double pivot_val = w[i];
+                double* prow = &binv_[i * m_];
+                for (std::size_t c = 0; c < m_; ++c) prow[c] /= pivot_val;
+                for (std::size_t r = 0; r < m_; ++r) {
+                    if (r == i) continue;
+                    const double f = w[r];
+                    if (f == 0.0) continue;
+                    double* rrow = &binv_[r * m_];
+                    for (std::size_t c = 0; c < m_; ++c) rrow[c] -= f * prow[c];
+                }
+                xb_[i] = keep;
+                ++pivots_since_refactor_;
+                break;
+            }
+        }
+    }
+}
+
+RevisedSimplex::StepResult RevisedSimplex::step(const std::vector<double>& cost,
+                                                bool blands) {
+    compute_duals(cost, y_scratch_);
+    const std::vector<double>& y = y_scratch_;
+
+    // Pricing. A nonbasic-at-lower column improves when d_j < 0 (increase);
+    // a nonbasic-at-upper column improves when d_j > 0 (decrease).
+    std::size_t entering = sf_.columns.size();
+    double best = opt_.tolerance;
+    for (std::size_t j = 0; j < sf_.columns.size(); ++j) {
+        if (status_[j] == VarStatus::kBasic || !allowed_[j]) continue;
+        if (sf_.ub[j] <= opt_.tolerance) continue;  // fixed at 0: can't move
+        const double d = reduced_cost(j, cost, y);
+        const double gain = status_[j] == VarStatus::kAtLower ? -d : d;
+        if (blands) {
+            if (gain > opt_.tolerance) {
+                entering = j;
+                break;
+            }
+        } else if (gain > best) {
+            best = gain;
+            entering = j;
+        }
+    }
+    if (entering == sf_.columns.size()) return StepResult::kOptimal;
+
+    // sigma = +1: entering increases from lower; -1: decreases from upper.
+    const double sigma = status_[entering] == VarStatus::kAtLower ? 1.0 : -1.0;
+    ftran(entering, w_scratch_);
+    const std::vector<double>& w = w_scratch_;
+
+    // Ratio test. x_B changes by -sigma * t * w as the entering variable
+    // moves t >= 0 away from its bound. Limits: a basic variable hits 0, a
+    // basic variable hits its finite upper bound, or the entering variable
+    // reaches its own opposite bound (a "bound flip", no basis change).
+    double t_max = sf_.ub[entering];  // kInfinity when the entering is free above
+    std::size_t leaving = m_;         // m_ means "bound flip"
+    VarStatus leaving_status = VarStatus::kAtLower;
+    const auto consider = [&](std::size_t i, double t, VarStatus status) {
+        if (t < t_max - 1e-12) {
+            t_max = std::max(0.0, t);
+            leaving = i;
+            leaving_status = status;
+            return;
+        }
+        // Tie: prefer a basis change only over another basis change (keeping
+        // a pure bound flip is cheaper); Bland takes the smallest basis
+        // column, Dantzig the larger pivot element for stability.
+        if (t <= t_max + 1e-12 && leaving != m_) {
+            const bool prefer = blands ? basis_[i] < basis_[leaving]
+                                       : std::fabs(w[i]) > std::fabs(w[leaving]);
+            if (prefer) {
+                leaving = i;
+                leaving_status = status;
+            }
+        }
+    };
+    for (std::size_t i = 0; i < m_; ++i) {
+        const double delta = sigma * w[i];
+        if (delta > opt_.tolerance) {
+            // Basic variable i decreases toward 0.
+            consider(i, std::max(0.0, xb_[i]) / delta, VarStatus::kAtLower);
+        } else if (delta < -opt_.tolerance) {
+            // Basic variable i increases toward its finite upper bound.
+            const double u = sf_.ub[basis_[i]];
+            if (u == kInfinity) continue;
+            consider(i, std::max(0.0, u - xb_[i]) / (-delta), VarStatus::kAtUpper);
+        }
+    }
+    if (t_max == kInfinity) return StepResult::kUnbounded;
+    t_max = std::max(0.0, t_max);
+
+    // Apply the move to the basic values.
+    for (std::size_t i = 0; i < m_; ++i) {
+        if (w[i] != 0.0) xb_[i] -= sigma * t_max * w[i];
+    }
+
+    if (leaving == m_) {
+        // Bound flip: the entering variable runs to its opposite bound.
+        status_[entering] = status_[entering] == VarStatus::kAtLower
+                                ? VarStatus::kAtUpper
+                                : VarStatus::kAtLower;
+        return StepResult::kMoved;
+    }
+
+    // Entering becomes basic at its new value.
+    const double entering_value =
+        status_[entering] == VarStatus::kAtLower ? t_max : sf_.ub[entering] - t_max;
+    pivot(entering, leaving, entering_value, leaving_status, w);
+    return StepResult::kMoved;
+}
+
+LpSolution RevisedSimplex::run(const LinearProgram& lp) {
+    LpSolution out;
+    install_initial_basis();
+
+    std::vector<double> phase1_cost(sf_.columns.size(), 0.0);
+    bool any_artificial = false;
+    for (std::size_t j = 0; j < sf_.columns.size(); ++j) {
+        if (sf_.artificial[j]) {
+            phase1_cost[j] = 1.0;
+            any_artificial = true;
+        }
+    }
+    allowed_.assign(sf_.columns.size(), 1);
+
+    if (any_artificial) {
+        std::size_t degenerate_run = 0;
+        while (iterations_ < opt_.max_iterations) {
+            if (pivots_since_refactor_ >= opt_.refactor_interval) refactorize();
+            const double before = objective_of(phase1_cost);
+            const StepResult res = step(phase1_cost, degenerate_run > opt_.degenerate_limit);
+            ++iterations_;
+            if (res == StepResult::kOptimal) break;
+            if (res == StepResult::kUnbounded)
+                throw std::runtime_error("simplex: phase-1 unbounded (bug)");
+            degenerate_run = (before - objective_of(phase1_cost) > opt_.tolerance)
+                                 ? 0
+                                 : degenerate_run + 1;
+        }
+        const double infeasibility = objective_of(phase1_cost);
+        if (iterations_ >= opt_.max_iterations && infeasibility > 1e-6) {
+            out.status = SolveStatus::kIterationLimit;
+            out.iterations = iterations_;
+            return out;
+        }
+        if (infeasibility > 1e-6) {
+            out.status = SolveStatus::kInfeasible;
+            out.iterations = iterations_;
+            return out;
+        }
+        for (std::size_t j = 0; j < sf_.columns.size(); ++j) {
+            if (sf_.artificial[j]) allowed_[j] = 0;
+        }
+        drive_out_artificials();
+    }
+
+    std::size_t degenerate_run = 0;
+    SolveStatus status = SolveStatus::kIterationLimit;
+    while (iterations_ < opt_.max_iterations) {
+        if (pivots_since_refactor_ >= opt_.refactor_interval) refactorize();
+        const double before = objective_of(sf_.cost);
+        const StepResult res = step(sf_.cost, degenerate_run > opt_.degenerate_limit);
+        ++iterations_;
+        if (res == StepResult::kOptimal) {
+            status = SolveStatus::kOptimal;
+            break;
+        }
+        if (res == StepResult::kUnbounded) {
+            status = SolveStatus::kUnbounded;
+            break;
+        }
+        degenerate_run =
+            (before - objective_of(sf_.cost) > opt_.tolerance) ? 0 : degenerate_run + 1;
+    }
+
+    out.status = status;
+    out.iterations = iterations_;
+    if (status != SolveStatus::kOptimal) return out;
+
+    // Recover user-space solution: x_j = lower_j + z_j.
+    out.x.assign(lp.variable_count(), 0.0);
+    for (std::size_t j = 0; j < lp.variable_count(); ++j) {
+        out.x[j] = sf_.lower[j] + (status_[j] == VarStatus::kAtUpper ? sf_.ub[j] : 0.0);
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+        if (basis_[i] < sf_.structural_count) {
+            out.x[basis_[i]] = sf_.lower[basis_[i]] + xb_[i];
+        }
+    }
+    out.objective = lp.objective_value(out.x);
+
+    std::vector<double> y;
+    compute_duals(sf_.cost, y);
+    out.duals.assign(sf_.original_rows, 0.0);
+    for (std::size_t k = 0; k < sf_.original_rows; ++k) {
+        out.duals[k] = -sf_.row_sign[k] * y[k];
+    }
+    return out;
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+    if (lp.variable_count() == 0) {
+        LpSolution out;
+        out.status = SolveStatus::kOptimal;
+        out.objective = 0.0;
+        return out;
+    }
+    StandardForm sf = build_standard_form(lp);
+    RevisedSimplex solver(std::move(sf), options);
+    return solver.run(lp);
+}
+
+}  // namespace vnfr::opt

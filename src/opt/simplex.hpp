@@ -1,0 +1,44 @@
+// Two-phase revised primal simplex with a dense basis inverse.
+//
+// Solves LinearProgram instances (maximize form). Internally: shifts lower
+// bounds to zero, lowers finite upper bounds to slack rows, normalizes
+// rhs >= 0, and runs phase 1 (artificials) then phase 2. Anti-cycling by
+// switching to Bland's rule after a run of degenerate pivots; periodic
+// refactorization of the basis inverse bounds numerical drift.
+//
+// Scale target: a few thousand rows / ~10^4 columns — the offline LP
+// relaxations of the paper's ILPs at the evaluation sizes (Section VI).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "opt/lp.hpp"
+
+namespace vnfr::opt {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct SimplexOptions {
+    std::size_t max_iterations{200000};
+    double tolerance{1e-8};
+    /// Rebuild the basis inverse from scratch every this many pivots.
+    std::size_t refactor_interval{1024};
+    /// Switch to Bland's rule after this many consecutive degenerate pivots.
+    std::size_t degenerate_limit{64};
+};
+
+struct LpSolution {
+    SolveStatus status{SolveStatus::kIterationLimit};
+    double objective{0};          ///< in the user's maximize sense
+    std::vector<double> x;        ///< one value per LinearProgram variable
+    std::vector<double> duals;    ///< one per original row, maximize sign
+                                  ///< convention (<= rows have duals >= 0)
+    std::size_t iterations{0};
+};
+
+/// Solves `lp`. Never throws on infeasible/unbounded inputs (reported via
+/// status); throws std::invalid_argument only on malformed models.
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace vnfr::opt

@@ -1,0 +1,56 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vnfr::report {
+
+std::string csv_escape(const std::string& cell) {
+    const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(os) {}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        os_ << csv_escape(cells[i]);
+        if (i + 1 < cells.size()) os_ << ',';
+    }
+    os_ << '\n';
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& header) {
+    if (header_written_) throw std::logic_error("CsvWriter: header already written");
+    if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+    columns_ = header.size();
+    header_written_ = true;
+    write_cells(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    if (!header_written_) throw std::logic_error("CsvWriter: header not written");
+    if (cells.size() != columns_) throw std::invalid_argument("CsvWriter: column mismatch");
+    write_cells(cells);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (const double v : values) {
+        std::ostringstream os;
+        os << v;
+        cells.push_back(os.str());
+    }
+    write_row(cells);
+}
+
+}  // namespace vnfr::report

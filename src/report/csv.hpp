@@ -1,0 +1,32 @@
+// CSV emission for experiment series, so plots can be regenerated outside
+// the repo (gnuplot/matplotlib) from bench output files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vnfr::report {
+
+/// Writes `header` then `rows` as comma-separated values. Cells containing
+/// commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+  public:
+    /// The writer borrows the stream; keep it alive while writing.
+    explicit CsvWriter(std::ostream& os);
+
+    void write_header(const std::vector<std::string>& header);
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(const std::vector<double>& values);
+
+  private:
+    void write_cells(const std::vector<std::string>& cells);
+    std::ostream& os_;
+    std::size_t columns_{0};
+    bool header_written_{false};
+};
+
+/// Escapes one CSV cell (quotes when needed).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace vnfr::report

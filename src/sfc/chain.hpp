@@ -1,0 +1,58 @@
+// EXTENSION (beyond the paper): Service Function Chain requests.
+//
+// The paper schedules single-VNF requests and cites SFC reliability work
+// ([7], [13], [16]) as the wider setting. This module generalizes the
+// ON-SITE scheme to chains: a request asks for an ordered set of VNFs that
+// must all be functional for the service to work; all functions and their
+// replicas are hosted in one cloudlet (so chaining traffic stays local),
+// and each function k gets its own replica count n_k.
+//
+// Chain availability in cloudlet c (independent failures):
+//   P = r(c) * prod_k (1 - (1 - r(f_k))^{n_k})
+// which degenerates to the paper's Eq. 2 for a 1-function chain.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vnfr::sfc {
+
+struct ChainTag {};
+using ChainId = StrongId<ChainTag>;
+
+struct ChainRequest {
+    ChainId id;
+    std::vector<VnfTypeId> functions;  ///< the chain, in order; size >= 1
+    double requirement{0};             ///< R in (0, 1)
+    TimeSlot arrival{0};
+    TimeSlot duration{1};
+    double payment{0};
+
+    [[nodiscard]] TimeSlot end() const { return arrival + duration; }
+    [[nodiscard]] bool covers(TimeSlot t) const { return t >= arrival && t < end(); }
+    [[nodiscard]] bool fits_horizon(TimeSlot horizon) const {
+        return arrival >= 0 && duration >= 1 && end() <= horizon;
+    }
+};
+
+/// An admitted chain's allocation: the hosting cloudlet and one replica
+/// count per chain position.
+struct ChainPlacement {
+    ChainId chain;
+    CloudletId cloudlet;
+    std::vector<int> replicas;  ///< parallel to ChainRequest::functions
+
+    [[nodiscard]] int total_replicas() const {
+        int total = 0;
+        for (const int n : replicas) total += n;
+        return total;
+    }
+};
+
+struct ChainDecision {
+    bool admitted{false};
+    ChainPlacement placement;  ///< meaningful only when admitted
+};
+
+}  // namespace vnfr::sfc

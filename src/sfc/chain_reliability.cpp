@@ -1,0 +1,157 @@
+#include "sfc/chain_reliability.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace vnfr::sfc {
+
+namespace {
+
+void check_inputs(double cloudlet_rel, std::span<const double> vnf_rels,
+                  std::span<const double> compute_units) {
+    common::require_open_unit(cloudlet_rel, "cloudlet reliability");
+    if (vnf_rels.empty()) throw std::invalid_argument("chain: empty function list");
+    if (compute_units.size() != vnf_rels.size())
+        throw std::invalid_argument("chain: compute/reliability size mismatch");
+    for (const double r : vnf_rels) common::require_open_unit(r, "VNF reliability");
+    for (const double c : compute_units) {
+        if (c <= 0.0) throw std::invalid_argument("chain: non-positive compute demand");
+    }
+}
+
+/// log of prod_k (1 - (1 - r_k)^{n_k}), accumulated stably.
+double log_functions_ok(std::span<const double> vnf_rels, std::span<const int> replicas) {
+    double log_ok = 0.0;
+    for (std::size_t k = 0; k < vnf_rels.size(); ++k) {
+        if (replicas[k] < 1) throw std::invalid_argument("chain: non-positive replicas");
+        log_ok += std::log(common::at_least_one(vnf_rels[k], replicas[k]));
+    }
+    return log_ok;
+}
+
+}  // namespace
+
+double chain_onsite_availability(double cloudlet_rel, std::span<const double> vnf_rels,
+                                 std::span<const int> replicas) {
+    if (replicas.size() != vnf_rels.size())
+        throw std::invalid_argument("chain: replicas size mismatch");
+    common::require_open_unit(cloudlet_rel, "cloudlet reliability");
+    for (const double r : vnf_rels) common::require_open_unit(r, "VNF reliability");
+    return cloudlet_rel * std::exp(log_functions_ok(vnf_rels, replicas));
+}
+
+std::optional<std::vector<int>> min_chain_replicas(double cloudlet_rel,
+                                                   std::span<const double> vnf_rels,
+                                                   std::span<const double> compute_units,
+                                                   double requirement) {
+    check_inputs(cloudlet_rel, vnf_rels, compute_units);
+    common::require_open_unit(requirement, "reliability requirement");
+    if (cloudlet_rel <= requirement) return std::nullopt;
+
+    const std::size_t k = vnf_rels.size();
+    std::vector<int> replicas(k, 1);
+
+    const auto availability = [&] {
+        return chain_onsite_availability(cloudlet_rel, vnf_rels, replicas);
+    };
+
+    // Greedy: add the replica with the largest availability gain per
+    // compute unit. Each step strictly increases availability toward
+    // cloudlet_rel > requirement, so this terminates.
+    while (availability() < requirement) {
+        std::size_t best = k;
+        double best_score = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const double before = common::at_least_one(vnf_rels[i], replicas[i]);
+            const double after = common::at_least_one(vnf_rels[i], replicas[i] + 1);
+            const double score = (std::log(after) - std::log(before)) / compute_units[i];
+            if (score > best_score) {
+                best_score = score;
+                best = i;
+            }
+        }
+        if (best == k) {
+            // All gains numerically zero yet requirement unmet: impossible
+            // since availability -> cloudlet_rel > requirement, but guard
+            // against pathological rounding.
+            return std::nullopt;
+        }
+        ++replicas[best];
+    }
+
+    // Trim: drop any replica whose removal keeps the requirement, most
+    // expensive functions first, so the result is locally minimal.
+    bool trimmed = true;
+    while (trimmed) {
+        trimmed = false;
+        std::size_t best = k;
+        double best_cost = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (replicas[i] <= 1) continue;
+            --replicas[i];
+            const bool still_ok = availability() >= requirement;
+            ++replicas[i];
+            if (still_ok && compute_units[i] > best_cost) {
+                best_cost = compute_units[i];
+                best = i;
+            }
+        }
+        if (best != k) {
+            --replicas[best];
+            trimmed = true;
+        }
+    }
+    return replicas;
+}
+
+std::optional<std::vector<int>> exhaustive_chain_replicas(
+    double cloudlet_rel, std::span<const double> vnf_rels,
+    std::span<const double> compute_units, double requirement, int max_replicas) {
+    check_inputs(cloudlet_rel, vnf_rels, compute_units);
+    common::require_open_unit(requirement, "reliability requirement");
+    if (vnf_rels.size() > 5)
+        throw std::invalid_argument("exhaustive_chain_replicas: chain too long");
+    if (max_replicas < 1)
+        throw std::invalid_argument("exhaustive_chain_replicas: max_replicas < 1");
+    if (cloudlet_rel <= requirement) return std::nullopt;
+
+    const std::size_t k = vnf_rels.size();
+    std::vector<int> current(k, 1);
+    std::optional<std::vector<int>> best;
+    double best_cost = std::numeric_limits<double>::infinity();
+
+    const auto recurse = [&](auto&& self, std::size_t pos) -> void {
+        if (pos == k) {
+            if (chain_onsite_availability(cloudlet_rel, vnf_rels, current) >= requirement) {
+                const double cost = chain_compute(compute_units, current);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = current;
+                }
+            }
+            return;
+        }
+        for (int n = 1; n <= max_replicas; ++n) {
+            current[pos] = n;
+            self(self, pos + 1);
+        }
+        current[pos] = 1;
+    };
+    recurse(recurse, 0);
+    return best;
+}
+
+double chain_compute(std::span<const double> compute_units, std::span<const int> replicas) {
+    if (compute_units.size() != replicas.size())
+        throw std::invalid_argument("chain_compute: size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < compute_units.size(); ++i) {
+        total += compute_units[i] * replicas[i];
+    }
+    return total;
+}
+
+}  // namespace vnfr::sfc

@@ -1,0 +1,43 @@
+// Replica mathematics for on-site service function chains.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vnfr::sfc {
+
+/// Availability of a chain hosted in one cloudlet:
+///   r_c * prod_k (1 - (1 - vnf_rels[k])^{replicas[k]}).
+/// Throws std::invalid_argument on size mismatch, bad probabilities or
+/// non-positive replica counts.
+double chain_onsite_availability(double cloudlet_rel, std::span<const double> vnf_rels,
+                                 std::span<const int> replicas);
+
+/// Cheapest replica vector meeting `requirement` in a cloudlet of
+/// reliability `cloudlet_rel`, where function k costs `compute_units[k]`
+/// per replica. Returns nullopt when cloudlet_rel <= requirement (no
+/// replica count can help, as in the paper's Eq. 3 precondition).
+///
+/// Strategy: start from one replica each, greedily add the replica with
+/// the best availability-gain-per-compute-unit until the requirement is
+/// met, then trim: the result is locally minimal (removing any single
+/// replica breaks the requirement). Exact on single-function chains
+/// (= paper's Eq. 3); within one greedy step of optimal in practice —
+/// see exhaustive_chain_replicas for the reference used in tests.
+std::optional<std::vector<int>> min_chain_replicas(double cloudlet_rel,
+                                                   std::span<const double> vnf_rels,
+                                                   std::span<const double> compute_units,
+                                                   double requirement);
+
+/// Exact cheapest replica vector by bounded exhaustive search (reference
+/// for tests). Throws std::invalid_argument when the search space exceeds
+/// ~max_replicas^k for chains longer than 5.
+std::optional<std::vector<int>> exhaustive_chain_replicas(
+    double cloudlet_rel, std::span<const double> vnf_rels,
+    std::span<const double> compute_units, double requirement, int max_replicas = 6);
+
+/// Total compute demand of a replica vector.
+double chain_compute(std::span<const double> compute_units, std::span<const int> replicas);
+
+}  // namespace vnfr::sfc

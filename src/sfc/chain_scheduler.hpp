@@ -1,0 +1,80 @@
+// Online schedulers for on-site service function chains: the primal-dual
+// pricing of the paper's Algorithm 1 lifted to chains, and the
+// reliability-greedy baseline.
+//
+// For a chain on cloudlet j the replica vector comes from
+// min_chain_replicas; the dual admission price is
+//   price_j = demand_j * sum_{t in window} lambda_tj,
+// demand_j being the vector's total compute. Admission, placement and dual
+// updates then follow Algorithm 1 with a = demand_j.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "edge/resource_ledger.hpp"
+#include "sfc/chain.hpp"
+
+namespace vnfr::sfc {
+
+/// Interface mirroring core::OnlineScheduler for chain requests.
+class ChainScheduler {
+  public:
+    virtual ~ChainScheduler() = default;
+    virtual ChainDecision decide(const ChainRequest& request) = 0;
+    [[nodiscard]] virtual const edge::ResourceLedger& ledger() const = 0;
+    [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+struct ChainScheduleResult {
+    std::vector<ChainDecision> decisions;
+    double revenue{0};
+    std::size_t admitted{0};
+    double max_load_factor{0};
+};
+
+/// Feeds `requests` (arrival order) through a scheduler.
+ChainScheduleResult run_chains(const core::Instance& instance,
+                               const std::vector<ChainRequest>& requests,
+                               ChainScheduler& scheduler);
+
+struct ChainPrimalDualConfig {
+    /// See OnsitePrimalDualConfig::dual_capacity_scale; 0 = auto.
+    double dual_capacity_scale{0.0};
+};
+
+class ChainPrimalDual final : public ChainScheduler {
+  public:
+    /// Uses the instance's network and catalog; its (single-VNF) requests
+    /// are ignored. Keeps a reference; caller keeps it alive.
+    explicit ChainPrimalDual(const core::Instance& instance,
+                             ChainPrimalDualConfig config = {});
+
+    ChainDecision decide(const ChainRequest& request) override;
+    [[nodiscard]] const edge::ResourceLedger& ledger() const override { return ledger_; }
+    [[nodiscard]] std::string_view name() const override { return "chain-primal-dual"; }
+    [[nodiscard]] double lambda(CloudletId j, TimeSlot t) const;
+
+  private:
+    const core::Instance& instance_;
+    edge::ResourceLedger ledger_;
+    double dual_scale_{1.0};
+    std::vector<std::vector<double>> lambda_;
+};
+
+class ChainGreedy final : public ChainScheduler {
+  public:
+    explicit ChainGreedy(const core::Instance& instance);
+
+    ChainDecision decide(const ChainRequest& request) override;
+    [[nodiscard]] const edge::ResourceLedger& ledger() const override { return ledger_; }
+    [[nodiscard]] std::string_view name() const override { return "chain-greedy"; }
+
+  private:
+    const core::Instance& instance_;
+    edge::ResourceLedger ledger_;
+    std::vector<CloudletId> by_reliability_;
+};
+
+}  // namespace vnfr::sfc

@@ -1,0 +1,61 @@
+#include "sfc/chain_workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vnfr::sfc {
+
+std::vector<ChainRequest> generate_chains(const ChainWorkloadConfig& cfg,
+                                          const vnf::Catalog& catalog, common::Rng& rng) {
+    if (catalog.empty()) throw std::invalid_argument("generate_chains: empty catalog");
+    if (cfg.horizon <= 0) throw std::invalid_argument("generate_chains: bad horizon");
+    if (cfg.chain_length_min < 1 || cfg.chain_length_max < cfg.chain_length_min)
+        throw std::invalid_argument("generate_chains: bad chain length range");
+    if (cfg.duration_min < 1 || cfg.duration_max < cfg.duration_min ||
+        cfg.duration_max > cfg.horizon)
+        throw std::invalid_argument("generate_chains: bad duration range");
+    if (cfg.requirement_min <= 0.0 || cfg.requirement_max >= 1.0 ||
+        cfg.requirement_max < cfg.requirement_min)
+        throw std::invalid_argument("generate_chains: bad requirement range");
+    if (cfg.payment_rate_min <= 0.0 || cfg.payment_rate_max < cfg.payment_rate_min)
+        throw std::invalid_argument("generate_chains: bad payment-rate range");
+
+    std::vector<ChainRequest> out;
+    out.reserve(cfg.count);
+    for (std::size_t i = 0; i < cfg.count; ++i) {
+        ChainRequest r;
+        r.id = ChainId{static_cast<std::int64_t>(i)};
+        const auto length = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(cfg.chain_length_min),
+                            static_cast<std::int64_t>(cfg.chain_length_max)));
+        if (length <= catalog.size()) {
+            // Distinct functions, in selection order.
+            const auto picks = rng.sample_without_replacement(catalog.size(), length);
+            for (const std::size_t p : picks) {
+                r.functions.push_back(VnfTypeId{static_cast<std::int64_t>(p)});
+            }
+        } else {
+            for (std::size_t k = 0; k < length; ++k) {
+                r.functions.push_back(
+                    VnfTypeId{rng.uniform_int(0, static_cast<std::int64_t>(catalog.size()) - 1)});
+            }
+        }
+        r.requirement = rng.uniform(cfg.requirement_min, cfg.requirement_max);
+        r.duration =
+            static_cast<TimeSlot>(rng.uniform_int(cfg.duration_min, cfg.duration_max));
+        r.arrival = std::min(static_cast<TimeSlot>(rng.uniform_int(0, cfg.horizon - 1)),
+                             cfg.horizon - r.duration);
+        double base_compute = 0.0;
+        for (const VnfTypeId f : r.functions) base_compute += catalog.compute_units(f);
+        const double rate = rng.uniform(cfg.payment_rate_min, cfg.payment_rate_max);
+        r.payment = rate * static_cast<double>(r.duration) * base_compute * r.requirement;
+        out.push_back(std::move(r));
+    }
+    std::sort(out.begin(), out.end(), [](const ChainRequest& a, const ChainRequest& b) {
+        if (a.arrival != b.arrival) return a.arrival < b.arrival;
+        return a.id < b.id;
+    });
+    return out;
+}
+
+}  // namespace vnfr::sfc

@@ -1,0 +1,35 @@
+// Synthetic SFC workloads: chains of 2-5 functions drawn from the VNF
+// catalog, with the same arrival/duration/payment model as single-VNF
+// requests (payment scales with the chain's base compute demand).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sfc/chain.hpp"
+#include "vnf/catalog.hpp"
+#include "workload/generator.hpp"
+
+namespace vnfr::sfc {
+
+struct ChainWorkloadConfig {
+    TimeSlot horizon{24};
+    std::size_t count{100};
+    std::size_t chain_length_min{2};
+    std::size_t chain_length_max{4};
+    TimeSlot duration_min{2};
+    TimeSlot duration_max{8};
+    double requirement_min{0.90};
+    double requirement_max{0.97};
+    /// Payment = rate * duration * base_compute * R, base_compute being the
+    /// chain's one-replica-per-function demand.
+    double payment_rate_min{1.0};
+    double payment_rate_max{5.0};
+};
+
+/// Generates `config.count` chain requests sorted by arrival. Functions
+/// within a chain are distinct when the catalog is large enough.
+std::vector<ChainRequest> generate_chains(const ChainWorkloadConfig& config,
+                                          const vnf::Catalog& catalog, common::Rng& rng);
+
+}  // namespace vnfr::sfc

@@ -1,0 +1,94 @@
+#include "sim/availability_process.hpp"
+
+#include <stdexcept>
+
+namespace vnfr::sim {
+
+AvailabilityProcess::AvailabilityProcess(const core::Instance& instance,
+                                         double cloudlet_mttr, double instance_mttr,
+                                         common::Rng rng)
+    : instance_(instance),
+      cloudlet_mttr_(cloudlet_mttr),
+      instance_mttr_(instance_mttr),
+      rng_(rng) {
+    if (cloudlet_mttr < 1.0 || instance_mttr < 1.0)
+        throw std::invalid_argument("AvailabilityProcess: mttr must be >= 1 slot");
+    cloudlets_.reserve(instance.network.cloudlet_count());
+    for (const edge::Cloudlet& c : instance.network.cloudlets()) {
+        cloudlets_.push_back(make_chain(c.reliability, cloudlet_mttr_));
+    }
+}
+
+AvailabilityProcess::Chain AvailabilityProcess::make_chain(double reliability, double mttr) {
+    Chain chain;
+    chain.p_repair = 1.0 / mttr;
+    // Stationary up-fraction p_repair / (p_repair + p_fail) = reliability.
+    chain.p_fail = chain.p_repair * (1.0 - reliability) / reliability;
+    // Clamp: extremely unreliable components with short repair could push
+    // p_fail above 1; treat as "fails every slot it is up".
+    if (chain.p_fail > 1.0) chain.p_fail = 1.0;
+    chain.up = rng_.bernoulli(reliability);  // start in steady state
+    return chain;
+}
+
+std::size_t AvailabilityProcess::track(const workload::Request& request,
+                                       const core::Placement& placement) {
+    TrackedPlacement tracked;
+    const double vnf_rel = instance_.catalog.reliability(request.vnf);
+    for (const core::Site& site : placement.sites) {
+        if (!site.cloudlet.valid() || site.cloudlet.index() >= cloudlets_.size())
+            throw std::invalid_argument("AvailabilityProcess: unknown cloudlet in placement");
+        if (site.replicas < 1)
+            throw std::invalid_argument("AvailabilityProcess: non-positive replicas");
+        tracked.cloudlets.push_back(site.cloudlet);
+        std::vector<Chain> replicas;
+        replicas.reserve(static_cast<std::size_t>(site.replicas));
+        for (int k = 0; k < site.replicas; ++k) {
+            replicas.push_back(make_chain(vnf_rel, instance_mttr_));
+        }
+        tracked.replicas.push_back(std::move(replicas));
+    }
+    tracked_.push_back(std::move(tracked));
+    return tracked_.size() - 1;
+}
+
+void AvailabilityProcess::step_chain(Chain& chain) {
+    if (chain.up) {
+        if (rng_.bernoulli(chain.p_fail)) chain.up = false;
+    } else {
+        if (rng_.bernoulli(chain.p_repair)) chain.up = true;
+    }
+}
+
+void AvailabilityProcess::step() {
+    for (Chain& c : cloudlets_) step_chain(c);
+    for (TrackedPlacement& t : tracked_) {
+        for (auto& site_replicas : t.replicas) {
+            for (Chain& replica : site_replicas) step_chain(replica);
+        }
+    }
+}
+
+bool AvailabilityProcess::cloudlet_up(CloudletId c) const {
+    if (!c.valid() || c.index() >= cloudlets_.size())
+        throw std::invalid_argument("AvailabilityProcess: unknown cloudlet");
+    return cloudlets_[c.index()].up;
+}
+
+AvailabilityProcess::ServingReplica AvailabilityProcess::serving_replica(
+    std::size_t handle) const {
+    const TrackedPlacement& t = tracked_.at(handle);
+    for (std::size_t s = 0; s < t.cloudlets.size(); ++s) {
+        if (!cloudlets_[t.cloudlets[s].index()].up) continue;
+        for (std::size_t k = 0; k < t.replicas[s].size(); ++k) {
+            if (t.replicas[s][k].up) return {s, k};
+        }
+    }
+    return {};
+}
+
+CloudletId AvailabilityProcess::site_cloudlet(std::size_t handle, std::size_t site) const {
+    return tracked_.at(handle).cloudlets.at(site);
+}
+
+}  // namespace vnfr::sim

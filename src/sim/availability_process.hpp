@@ -1,0 +1,85 @@
+// Markov up/down failure dynamics for cloudlets and VNF instances.
+//
+// The per-slot independent sampling in failure_model.hpp measures *steady
+// state* availability; real failures are bursty — a component that fails
+// stays down for a repair period. This module models each component as a
+// two-state Markov chain over slots whose stationary up-probability equals
+// the component's reliability r and whose mean repair time is a parameter:
+//
+//   P(down -> up)  = 1 / mttr_slots
+//   P(up -> down)  = (1 - r) / (r * mttr_slots)
+//
+// so longer repair times mean rarer but longer outages at the same
+// long-run availability. This drives the failover accounting in the
+// simulator: the paper argues on-site backups recover fast (same cloudlet)
+// while off-site backups survive cloudlet outages but fail over remotely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace vnfr::sim {
+
+/// Markov chain state for every cloudlet plus per-replica instance states
+/// of the placements registered with track().
+class AvailabilityProcess {
+  public:
+    /// `cloudlet_mttr` / `instance_mttr` are mean repair times in slots
+    /// (>= 1). Components start in steady state (sampled up with
+    /// probability r).
+    AvailabilityProcess(const core::Instance& instance, double cloudlet_mttr,
+                        double instance_mttr, common::Rng rng);
+
+    /// Starts simulating the failures of an admitted placement. Returns a
+    /// handle for serving_site().
+    std::size_t track(const workload::Request& request, const core::Placement& placement);
+
+    /// Advances every component by one slot.
+    void step();
+
+    [[nodiscard]] bool cloudlet_up(CloudletId c) const;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// The (site, replica) indices of the first replica that can serve
+    /// (its cloudlet up and the replica up), or {npos, npos} when the
+    /// request is currently disrupted.
+    struct ServingReplica {
+        std::size_t site{npos};
+        std::size_t replica{npos};
+        [[nodiscard]] bool valid() const { return site != npos; }
+        friend bool operator==(const ServingReplica&, const ServingReplica&) = default;
+    };
+    [[nodiscard]] ServingReplica serving_replica(std::size_t handle) const;
+
+    /// Cloudlet hosting a tracked placement's site.
+    [[nodiscard]] CloudletId site_cloudlet(std::size_t handle, std::size_t site) const;
+
+  private:
+    struct Chain {
+        bool up{true};
+        double p_fail{0};    ///< up -> down
+        double p_repair{0};  ///< down -> up
+    };
+    struct TrackedPlacement {
+        std::vector<CloudletId> cloudlets;          ///< per site
+        std::vector<std::vector<Chain>> replicas;   ///< per site, per replica
+    };
+
+    [[nodiscard]] Chain make_chain(double reliability, double mttr);
+    void step_chain(Chain& chain);
+
+    const core::Instance& instance_;
+    double cloudlet_mttr_;
+    double instance_mttr_;
+    common::Rng rng_;
+    std::vector<Chain> cloudlets_;
+    std::vector<TrackedPlacement> tracked_;
+};
+
+}  // namespace vnfr::sim

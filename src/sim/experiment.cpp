@@ -1,0 +1,79 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/greedy.hpp"
+#include "core/hybrid_primal_dual.hpp"
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+
+namespace vnfr::sim {
+
+std::string_view algorithm_name(Algorithm algorithm) {
+    switch (algorithm) {
+        case Algorithm::kOnsitePrimalDual: return "onsite-primal-dual";
+        case Algorithm::kOnsitePrimalDualPure: return "onsite-primal-dual-pure";
+        case Algorithm::kOnsiteGreedy: return "onsite-greedy";
+        case Algorithm::kOffsitePrimalDual: return "offsite-primal-dual";
+        case Algorithm::kOffsiteGreedy: return "offsite-greedy";
+        case Algorithm::kHybridPrimalDual: return "hybrid-primal-dual";
+    }
+    throw std::invalid_argument("algorithm_name: unknown algorithm");
+}
+
+std::unique_ptr<core::OnlineScheduler> make_scheduler(Algorithm algorithm,
+                                                      const core::Instance& instance) {
+    switch (algorithm) {
+        case Algorithm::kOnsitePrimalDual:
+            return std::make_unique<core::OnsitePrimalDual>(instance);
+        case Algorithm::kOnsitePrimalDualPure:
+            return std::make_unique<core::OnsitePrimalDual>(
+                instance, core::OnsitePrimalDualConfig{.enforce_capacity = false});
+        case Algorithm::kOnsiteGreedy:
+            return std::make_unique<core::OnsiteGreedy>(instance);
+        case Algorithm::kOffsitePrimalDual:
+            return std::make_unique<core::OffsitePrimalDual>(instance);
+        case Algorithm::kOffsiteGreedy:
+            return std::make_unique<core::OffsiteGreedy>(instance);
+        case Algorithm::kHybridPrimalDual:
+            return std::make_unique<core::HybridPrimalDual>(instance);
+    }
+    throw std::invalid_argument("make_scheduler: unknown algorithm");
+}
+
+ExperimentOutcome run_experiment(const InstanceFactory& factory,
+                                 const ExperimentConfig& config) {
+    if (config.algorithms.empty())
+        throw std::invalid_argument("run_experiment: no algorithms configured");
+    if (config.seeds == 0) throw std::invalid_argument("run_experiment: zero seeds");
+
+    ExperimentOutcome outcome;
+    outcome.per_algorithm.reserve(config.algorithms.size());
+    for (const Algorithm a : config.algorithms) {
+        outcome.per_algorithm.push_back(AlgorithmOutcome{a, {}, {}, {}});
+    }
+
+    for (std::size_t k = 0; k < config.seeds; ++k) {
+        common::Rng rng(config.base_seed + k);
+        const core::Instance instance = factory(rng);
+
+        for (std::size_t ai = 0; ai < config.algorithms.size(); ++ai) {
+            const auto scheduler = make_scheduler(config.algorithms[ai], instance);
+            const core::ScheduleResult result = core::run_online(instance, *scheduler);
+            AlgorithmOutcome& agg = outcome.per_algorithm[ai];
+            agg.revenue.add(result.revenue);
+            agg.acceptance.add(core::acceptance_ratio(result, instance));
+            agg.max_load_factor.add(result.max_load_factor);
+        }
+
+        if (config.compute_offline) {
+            const core::OfflineResult off =
+                core::solve_offline(instance, config.offline_scheme, config.offline);
+            if (off.lp_optimal) outcome.offline_bound.add(off.lp_bound);
+            if (off.has_ilp) outcome.offline_ilp.add(off.ilp_value);
+        }
+    }
+    return outcome;
+}
+
+}  // namespace vnfr::sim

@@ -1,0 +1,66 @@
+// Multi-seed experiment harness: runs a set of algorithms (and optionally
+// the offline benchmark) over independently generated instances and
+// aggregates revenue/acceptance with 95% confidence intervals — the shape
+// of every figure in the paper's Section VI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/instance.hpp"
+#include "core/offline.hpp"
+#include "core/schedule.hpp"
+
+namespace vnfr::sim {
+
+enum class Algorithm {
+    kOnsitePrimalDual,      ///< Algorithm 1, capacity-checked (paper's evaluated variant)
+    kOnsitePrimalDualPure,  ///< Algorithm 1 verbatim (bounded violations)
+    kOnsiteGreedy,
+    kOffsitePrimalDual,     ///< Algorithm 2
+    kOffsiteGreedy,
+    kHybridPrimalDual,      ///< extension: per-request on-site/off-site choice
+};
+
+std::string_view algorithm_name(Algorithm algorithm);
+
+/// Fresh scheduler bound to `instance` (which must outlive it).
+std::unique_ptr<core::OnlineScheduler> make_scheduler(Algorithm algorithm,
+                                                      const core::Instance& instance);
+
+struct ExperimentConfig {
+    std::vector<Algorithm> algorithms;
+    std::size_t seeds{5};
+    std::uint64_t base_seed{42};
+    /// Also solve the offline benchmark per seed (LP bound, optional ILP).
+    bool compute_offline{false};
+    core::Scheme offline_scheme{core::Scheme::kOnsite};
+    core::OfflineConfig offline{};
+};
+
+struct AlgorithmOutcome {
+    Algorithm algorithm;
+    common::RunningStats revenue;
+    common::RunningStats acceptance;
+    common::RunningStats max_load_factor;
+};
+
+struct ExperimentOutcome {
+    std::vector<AlgorithmOutcome> per_algorithm;
+    common::RunningStats offline_bound;  ///< LP relaxation optimum per seed
+    common::RunningStats offline_ilp;    ///< best integral revenue per seed
+};
+
+/// Builds one instance per seed via `factory` (seeded from base_seed + k),
+/// replays it through every configured algorithm, and aggregates.
+using InstanceFactory = std::function<core::Instance(common::Rng&)>;
+
+ExperimentOutcome run_experiment(const InstanceFactory& factory,
+                                 const ExperimentConfig& config);
+
+}  // namespace vnfr::sim

@@ -1,0 +1,75 @@
+#include "sim/failover_study.hpp"
+
+#include <stdexcept>
+
+#include "sim/availability_process.hpp"
+
+namespace vnfr::sim {
+
+FailoverReport run_failover_study(const core::Instance& instance,
+                                  const std::vector<core::Decision>& decisions,
+                                  const FailoverConfig& config) {
+    instance.validate();
+    if (decisions.size() != instance.requests.size())
+        throw std::invalid_argument("run_failover_study: decisions/requests size mismatch");
+
+    AvailabilityProcess process(instance, config.cloudlet_mttr_slots,
+                                config.instance_mttr_slots, common::Rng(config.seed));
+
+    struct Active {
+        std::size_t request_index;
+        std::size_t handle;
+        AvailabilityProcess::ServingReplica last{};
+        bool first_slot{true};
+    };
+    std::vector<Active> active;
+    std::vector<std::size_t> handles(decisions.size(), AvailabilityProcess::npos);
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+        if (decisions[i].admitted) {
+            handles[i] = process.track(instance.requests[i], decisions[i].placement);
+        }
+    }
+
+    FailoverReport report;
+    std::size_t next_request = 0;
+    for (TimeSlot t = 0; t < instance.horizon; ++t) {
+        while (next_request < instance.requests.size() &&
+               instance.requests[next_request].arrival == t) {
+            if (handles[next_request] != AvailabilityProcess::npos) {
+                active.push_back(Active{next_request, handles[next_request], {}, true});
+            }
+            ++next_request;
+        }
+        std::erase_if(active, [&](const Active& a) {
+            return !instance.requests[a.request_index].covers(t);
+        });
+
+        process.step();
+
+        for (Active& a : active) {
+            const auto serving = process.serving_replica(a.handle);
+            ++report.request_slots;
+            if (serving.valid()) {
+                ++report.served_slots;
+                if (!a.first_slot && a.last.valid() && !(serving == a.last)) {
+                    if (serving.site == a.last.site) {
+                        ++report.local_failovers;
+                    } else if (process.site_cloudlet(a.handle, serving.site) !=
+                               process.site_cloudlet(a.handle, a.last.site)) {
+                        ++report.remote_failovers;
+                    } else {
+                        ++report.local_failovers;
+                    }
+                }
+            } else {
+                ++report.disrupted_slots;
+                if (!a.first_slot && a.last.valid()) ++report.outages;
+            }
+            a.last = serving;
+            a.first_slot = false;
+        }
+    }
+    return report;
+}
+
+}  // namespace vnfr::sim

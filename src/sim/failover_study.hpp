@@ -1,0 +1,48 @@
+// Failover dynamics study: replay a finished schedule under Markov
+// failure/repair processes and account for outages and failovers.
+//
+// Quantifies the paper's Section I trade-off: on-site backups can only
+// fail over locally (same cloudlet — fast, but useless when the cloudlet
+// itself is down), while off-site backups fail over to another cloudlet
+// (slower, extra traffic, but survive cloudlet outages).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+
+namespace vnfr::sim {
+
+struct FailoverConfig {
+    double cloudlet_mttr_slots{4.0};
+    double instance_mttr_slots{2.0};
+    std::uint64_t seed{0xfa11};
+};
+
+struct FailoverReport {
+    std::size_t request_slots{0};    ///< active (request x slot) samples
+    std::size_t served_slots{0};
+    std::size_t disrupted_slots{0};
+    /// Serving replica changed within the same cloudlet (fast local switch).
+    std::size_t local_failovers{0};
+    /// Serving site moved to a different cloudlet (slow remote switch).
+    std::size_t remote_failovers{0};
+    /// served -> disrupted transitions (complete outages).
+    std::size_t outages{0};
+
+    [[nodiscard]] double availability() const {
+        return request_slots == 0
+                   ? 0.0
+                   : static_cast<double>(served_slots) / static_cast<double>(request_slots);
+    }
+};
+
+/// Replays `decisions` (as produced by any scheduler on `instance`) under
+/// Markov failures. Rejected requests are ignored.
+FailoverReport run_failover_study(const core::Instance& instance,
+                                  const std::vector<core::Decision>& decisions,
+                                  const FailoverConfig& config = {});
+
+}  // namespace vnfr::sim

@@ -1,0 +1,51 @@
+#include "sim/failure_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace vnfr::sim {
+
+double analytic_availability(const core::Instance& instance,
+                             const workload::Request& request,
+                             const core::Placement& placement) {
+    const double vnf_rel = instance.catalog.reliability(request.vnf);
+    double log_all_fail = 0.0;
+    for (const core::Site& site : placement.sites) {
+        if (site.replicas <= 0)
+            throw std::invalid_argument("analytic_availability: non-positive replicas");
+        const double site_ok =
+            instance.network.cloudlet(site.cloudlet).reliability *
+            common::at_least_one(vnf_rel, site.replicas);
+        log_all_fail += common::log1m(site_ok);
+    }
+    if (placement.sites.empty()) return 0.0;
+    return common::one_minus_exp(log_all_fail);
+}
+
+bool sample_served(const core::Instance& instance, const workload::Request& request,
+                   const core::Placement& placement, common::Rng& rng) {
+    const double vnf_rel = instance.catalog.reliability(request.vnf);
+    for (const core::Site& site : placement.sites) {
+        if (!rng.bernoulli(instance.network.cloudlet(site.cloudlet).reliability)) continue;
+        for (int k = 0; k < site.replicas; ++k) {
+            if (rng.bernoulli(vnf_rel)) return true;
+        }
+    }
+    return false;
+}
+
+double monte_carlo_availability(const core::Instance& instance,
+                                const workload::Request& request,
+                                const core::Placement& placement, std::size_t trials,
+                                common::Rng& rng) {
+    if (trials == 0) throw std::invalid_argument("monte_carlo_availability: zero trials");
+    std::size_t served = 0;
+    for (std::size_t i = 0; i < trials; ++i) {
+        if (sample_served(instance, request, placement, rng)) ++served;
+    }
+    return static_cast<double>(served) / static_cast<double>(trials);
+}
+
+}  // namespace vnfr::sim

@@ -1,0 +1,65 @@
+#include "vnf/reliability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace vnfr::vnf {
+
+double onsite_availability(double cloudlet_rel, double vnf_rel, int replicas) {
+    common::require_open_unit(cloudlet_rel, "cloudlet reliability");
+    common::require_open_unit(vnf_rel, "VNF reliability");
+    if (replicas < 0) throw std::invalid_argument("onsite_availability: negative replicas");
+    return cloudlet_rel * common::at_least_one(vnf_rel, replicas);
+}
+
+std::optional<int> min_onsite_replicas(double cloudlet_rel, double vnf_rel,
+                                       double requirement) {
+    common::require_open_unit(cloudlet_rel, "cloudlet reliability");
+    common::require_open_unit(vnf_rel, "VNF reliability");
+    common::require_open_unit(requirement, "reliability requirement");
+    // Even infinitely many instances cannot beat the cloudlet's own
+    // reliability: P(A) -> r(c) as N -> inf (Eq. 2).
+    if (cloudlet_rel <= requirement) return std::nullopt;
+
+    // Closed form (Eq. 3): N = ceil( ln(1 - R/r_c) / ln(1 - r_f) ).
+    const double target = 1.0 - requirement / cloudlet_rel;  // in (0, 1)
+    const double n_real = std::log(target) / common::log1m(vnf_rel);
+    int n = std::max(1, static_cast<int>(std::ceil(n_real - 1e-12)));
+
+    // The closed form can round the wrong way at the boundary; nudge to the
+    // exact minimum.
+    while (onsite_availability(cloudlet_rel, vnf_rel, n) < requirement) ++n;
+    while (n > 1 && onsite_availability(cloudlet_rel, vnf_rel, n - 1) >= requirement) --n;
+    return n;
+}
+
+double offsite_log_failure(double vnf_rel, double cloudlet_rel) {
+    common::require_open_unit(vnf_rel, "VNF reliability");
+    common::require_open_unit(cloudlet_rel, "cloudlet reliability");
+    return common::log1m(vnf_rel * cloudlet_rel);
+}
+
+double offsite_availability(double vnf_rel, std::span<const double> cloudlet_rels) {
+    double log_all_fail = 0.0;
+    for (const double rc : cloudlet_rels) {
+        log_all_fail += offsite_log_failure(vnf_rel, rc);
+    }
+    if (cloudlet_rels.empty()) return 0.0;
+    return common::one_minus_exp(log_all_fail);
+}
+
+bool offsite_meets(double vnf_rel, std::span<const double> cloudlet_rels,
+                   double requirement) {
+    common::require_open_unit(requirement, "reliability requirement");
+    // Compare in log space: P(A) >= R  <=>  sum log(1 - r_f r_c) <= log(1 - R).
+    double log_all_fail = 0.0;
+    for (const double rc : cloudlet_rels) {
+        log_all_fail += offsite_log_failure(vnf_rel, rc);
+    }
+    if (cloudlet_rels.empty()) return false;
+    return log_all_fail <= common::log1m(requirement);
+}
+
+}  // namespace vnfr::vnf

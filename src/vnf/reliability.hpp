@@ -1,0 +1,48 @@
+// Replica mathematics from Section III of the paper.
+//
+// On-site scheme (all instances in one cloudlet c_j):
+//   P(A_i) = r(c_j) * (1 - (1 - r(f_i))^N)                      (Eq. 2)
+//   N_ij   = ceil( log_{1-r(f_i)} (1 - R_i / r(c_j)) )          (Eq. 3)
+//   feasible only when r(c_j) > R_i.
+//
+// Off-site scheme (one instance per selected cloudlet):
+//   P(A_i) = 1 - prod_j (1 - r(f_i) * r(c_j))                   (Eq. 10)
+//
+// All products are accumulated in log space (log1p/expm1) so that
+// reliabilities like 0.9999 do not lose precision.
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace vnfr::vnf {
+
+/// Availability of a request served by `replicas` instances of a VNF with
+/// instance reliability `vnf_rel` all placed in one cloudlet with
+/// reliability `cloudlet_rel` (paper Eq. 2). Zero replicas yields 0.
+double onsite_availability(double cloudlet_rel, double vnf_rel, int replicas);
+
+/// Minimum number of primary+backup instances required in a cloudlet of
+/// reliability `cloudlet_rel` so that onsite_availability >= `requirement`
+/// (paper Eq. 3). Returns std::nullopt when the cloudlet cannot meet the
+/// requirement at any replica count (cloudlet_rel <= requirement).
+///
+/// The returned count is exact: availability(N) >= requirement and
+/// availability(N-1) < requirement, guarded against floating point rounding
+/// of the closed-form logarithm.
+std::optional<int> min_onsite_replicas(double cloudlet_rel, double vnf_rel,
+                                       double requirement);
+
+/// Availability of one instance of a VNF with reliability `vnf_rel` placed
+/// in each cloudlet of `cloudlet_rels` (paper Eq. 10). Empty set yields 0.
+double offsite_availability(double vnf_rel, std::span<const double> cloudlet_rels);
+
+/// True when the off-site placement meets `requirement`.
+bool offsite_meets(double vnf_rel, std::span<const double> cloudlet_rels,
+                   double requirement);
+
+/// Log-space helper: log(1 - vnf_rel * cloudlet_rel), the per-cloudlet
+/// contribution to the off-site failure product. Always negative.
+double offsite_log_failure(double vnf_rel, double cloudlet_rel);
+
+}  // namespace vnfr::vnf

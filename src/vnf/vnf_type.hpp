@@ -1,0 +1,18 @@
+// A Virtualized Network Function type f_i: its computing demand c(f_i) in
+// computing units and its instance reliability r(f_i) in (0, 1).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vnfr::vnf {
+
+struct VnfType {
+    VnfTypeId id;
+    std::string name;     ///< e.g. "firewall", "load-balancer"
+    double compute_units; ///< c(f_i) > 0, the paper uses 1..3 units
+    double reliability;   ///< r(f_i) in (0, 1)
+};
+
+}  // namespace vnfr::vnf

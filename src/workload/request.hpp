@@ -1,0 +1,37 @@
+// A user request rho_i = (f_i, R_i, a_i, d_i, pay_i) (paper Section III.B):
+// the VNF type requested, the reliability requirement, the arrival slot,
+// the execution duration in slots, and the payment collected if admitted.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace vnfr::workload {
+
+struct Request {
+    RequestId id;
+    VnfTypeId vnf;
+    double requirement{0};  ///< R_i in (0, 1)
+    TimeSlot arrival{0};    ///< a_i, 0-based slot index
+    TimeSlot duration{1};   ///< d_i >= 1 slots
+    double payment{0};      ///< pay_i > 0
+    /// AP through which the mobile user issues the request (Section III.A:
+    /// "mobile users issue their requests through their nearby APs").
+    /// Optional — invalid when the workload is network-agnostic; used for
+    /// access-distance reporting, never for admission decisions.
+    NodeId source{};
+
+    /// One past the last occupied slot: the request occupies
+    /// [arrival, arrival + duration), i.e. slots a_i .. a_i + d_i - 1.
+    [[nodiscard]] TimeSlot end() const { return arrival + duration; }
+
+    /// The paper's V_i[t]: 1 when slot t falls in the execution window.
+    [[nodiscard]] bool covers(TimeSlot t) const { return t >= arrival && t < end(); }
+
+    /// The paper only considers requests fully inside the horizon
+    /// (a_i + d_i - 1 in T); true when this one is.
+    [[nodiscard]] bool fits_horizon(TimeSlot horizon) const {
+        return arrival >= 0 && duration >= 1 && end() <= horizon;
+    }
+};
+
+}  // namespace vnfr::workload

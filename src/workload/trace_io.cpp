@@ -1,0 +1,105 @@
+#include "workload/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vnfr::workload {
+
+namespace {
+
+constexpr const char* kHeader = "id,vnf,requirement,arrival,duration,payment,source";
+
+std::vector<std::string> split_csv(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string current;
+    for (const char c : line) {
+        if (c == ',') {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+double parse_double(const std::string& s, const char* what) {
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size()) throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception&) {
+        throw std::runtime_error(std::string("read_trace: bad ") + what + " field '" + s + "'");
+    }
+}
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+    std::int64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) {
+        throw std::runtime_error(std::string("read_trace: bad ") + what + " field '" + s + "'");
+    }
+    return v;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<Request>& requests) {
+    os << kHeader << '\n';
+    os << std::setprecision(17);
+    for (const Request& r : requests) {
+        os << r.id.value << ',' << r.vnf.value << ',' << r.requirement << ',' << r.arrival
+           << ',' << r.duration << ',' << r.payment << ',' << r.source.value << '\n';
+    }
+    if (!os) throw std::runtime_error("write_trace: stream failure");
+}
+
+void write_trace_file(const std::string& path, const std::vector<Request>& requests) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+    write_trace(out, requests);
+}
+
+std::vector<Request> read_trace(std::istream& is) {
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader) {
+        throw std::runtime_error("read_trace: missing or wrong header");
+    }
+    std::vector<Request> out;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const auto fields = split_csv(line);
+        if (fields.size() != 7) {
+            throw std::runtime_error("read_trace: expected 7 fields, got " +
+                                     std::to_string(fields.size()));
+        }
+        Request r;
+        r.id = RequestId{parse_int(fields[0], "id")};
+        r.vnf = VnfTypeId{parse_int(fields[1], "vnf")};
+        r.requirement = parse_double(fields[2], "requirement");
+        r.arrival = static_cast<TimeSlot>(parse_int(fields[3], "arrival"));
+        r.duration = static_cast<TimeSlot>(parse_int(fields[4], "duration"));
+        r.payment = parse_double(fields[5], "payment");
+        r.source = NodeId{parse_int(fields[6], "source")};
+        if (r.requirement <= 0.0 || r.requirement >= 1.0)
+            throw std::runtime_error("read_trace: requirement outside (0,1)");
+        if (r.duration < 1) throw std::runtime_error("read_trace: non-positive duration");
+        if (r.payment <= 0.0) throw std::runtime_error("read_trace: non-positive payment");
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request> read_trace_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+    return read_trace(in);
+}
+
+}  // namespace vnfr::workload

@@ -1,0 +1,25 @@
+// CSV persistence for request traces, so workloads can be exported,
+// inspected and replayed byte-identically.
+//
+// Format (header line + one row per request):
+//   id,vnf,requirement,arrival,duration,payment
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/request.hpp"
+
+namespace vnfr::workload {
+
+/// Writes a trace; throws std::runtime_error when the stream is bad.
+void write_trace(std::ostream& os, const std::vector<Request>& requests);
+void write_trace_file(const std::string& path, const std::vector<Request>& requests);
+
+/// Reads a trace; throws std::runtime_error on malformed input (missing
+/// header, wrong column count, unparsable numbers, invalid field values).
+std::vector<Request> read_trace(std::istream& is);
+std::vector<Request> read_trace_file(const std::string& path);
+
+}  // namespace vnfr::workload

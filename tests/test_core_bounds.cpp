@@ -1,0 +1,94 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "vnf/reliability.hpp"
+
+namespace vnfr::core {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::random_instance;
+using vnfr::testing::small_instance;
+
+TEST(TheoryBounds, HandComputedSingleRequest) {
+    // One request (fw: c=1, r_f=0.95), one cloudlet r_c=0.99, R=0.9:
+    // N = min replicas; a = N * 1.
+    const Instance inst = small_instance({0.99}, 50.0, 10,
+                                         {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const TheoryBounds b = compute_onsite_bounds(inst);
+    const int n = *vnf::min_onsite_replicas(0.99, 0.95, 0.9);
+    EXPECT_DOUBLE_EQ(b.a_max, static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(b.a_min, static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(b.competitive_ratio, 1.0 + n);
+    EXPECT_DOUBLE_EQ(b.pay_max, 5.0);
+    EXPECT_DOUBLE_EQ(b.pay_min, 5.0);
+    EXPECT_DOUBLE_EQ(b.d_max, 2.0);
+    EXPECT_DOUBLE_EQ(b.cap_min, 50.0);
+}
+
+TEST(TheoryBounds, AMaxCoversExpensiveTypes) {
+    // Type 1 (lb) needs c=2 per instance and is less reliable, so its a_ij
+    // dominates type 0's.
+    const Instance inst = small_instance({0.99}, 50.0, 10,
+                                         {make_request(0, 0, 0.9, 0, 2, 5.0),
+                                          make_request(1, 1, 0.9, 0, 2, 5.0)});
+    const TheoryBounds b = compute_onsite_bounds(inst);
+    const int n_fw = *vnf::min_onsite_replicas(0.99, 0.95, 0.9);
+    const int n_lb = *vnf::min_onsite_replicas(0.99, 0.90, 0.9);
+    EXPECT_DOUBLE_EQ(b.a_min, static_cast<double>(n_fw));
+    EXPECT_DOUBLE_EQ(b.a_max, 2.0 * n_lb);
+}
+
+TEST(TheoryBounds, InfeasiblePairsExcluded) {
+    // The 0.92-reliable cloudlet cannot serve R=0.95 requests; a_ values
+    // must come from the feasible cloudlet only.
+    const Instance inst = small_instance({0.99, 0.92}, 50.0, 10,
+                                         {make_request(0, 0, 0.95, 0, 2, 5.0)});
+    const TheoryBounds b = compute_onsite_bounds(inst);
+    const int n = *vnf::min_onsite_replicas(0.99, 0.95, 0.95);
+    EXPECT_DOUBLE_EQ(b.a_max, static_cast<double>(n));
+}
+
+TEST(TheoryBounds, ThrowsWhenNothingFeasible) {
+    const Instance inst = small_instance({0.93}, 50.0, 10,
+                                         {make_request(0, 0, 0.95, 0, 2, 5.0)});
+    EXPECT_THROW(compute_onsite_bounds(inst), std::invalid_argument);
+}
+
+TEST(TheoryBounds, XiPositiveAndFinite) {
+    common::Rng rng(89);
+    const Instance inst = random_instance(rng, 40, 3, 10);
+    const TheoryBounds b = compute_onsite_bounds(inst);
+    EXPECT_GT(b.xi, 0.0);
+    EXPECT_TRUE(std::isfinite(b.xi));
+    EXPECT_GT(b.absolute_usage_bound, 0.0);
+    EXPECT_NEAR(b.xi, b.absolute_usage_bound / b.cap_min, 1e-12);
+}
+
+TEST(TheoryBounds, XiGrowsWithPaymentSpread) {
+    // Larger pay_max/pay_min spread loosens the violation bound (Lemma 8).
+    const auto make = [](double pay_hi) {
+        return small_instance({0.99}, 50.0, 10,
+                              {make_request(0, 0, 0.9, 0, 2, 1.0),
+                               make_request(1, 0, 0.9, 0, 2, pay_hi)});
+    };
+    const TheoryBounds narrow = compute_onsite_bounds(make(2.0));
+    const TheoryBounds wide = compute_onsite_bounds(make(50.0));
+    EXPECT_GT(wide.xi, narrow.xi);
+}
+
+TEST(TheoryBounds, CompetitiveRatioAboveOne) {
+    common::Rng rng(97);
+    const Instance inst = random_instance(rng, 30, 3, 10);
+    const TheoryBounds b = compute_onsite_bounds(inst);
+    EXPECT_GT(b.competitive_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(b.competitive_ratio, 1.0 + b.a_max);
+    EXPECT_GE(b.a_max, b.a_min);
+}
+
+}  // namespace
+}  // namespace vnfr::core

@@ -1,0 +1,181 @@
+#include "core/offline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+#include "core/greedy.hpp"
+#include "helpers.hpp"
+#include "opt/simplex.hpp"
+
+namespace vnfr::core {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::random_instance;
+using vnfr::testing::small_instance;
+
+Instance tiny_instance(common::Rng& rng, std::size_t n, std::size_t m) {
+    // Small enough for exhaustive search but non-trivial.
+    return random_instance(rng, n, m, 6, 4, 8);
+}
+
+TEST(OfflineModel, OnsiteVariableBookkeeping) {
+    const Instance inst = small_instance({0.99, 0.95}, 10.0, 5,
+                                         {make_request(0, 0, 0.9, 0, 2, 5.0),
+                                          make_request(1, 0, 0.97, 1, 2, 4.0)});
+    const OfflineModel model = build_onsite_model(inst);
+    ASSERT_EQ(model.x_vars.size(), 2u);
+    // Request 0 (R=0.9) fits both cloudlets; request 1 (R=0.97) only the
+    // 0.99-reliable one.
+    EXPECT_TRUE(model.y_vars[0][0].has_value());
+    EXPECT_TRUE(model.y_vars[0][1].has_value());
+    EXPECT_TRUE(model.y_vars[1][0].has_value());
+    EXPECT_FALSE(model.y_vars[1][1].has_value());
+    // Binaries = 2 X + 3 Y.
+    EXPECT_EQ(model.binaries.size(), 5u);
+}
+
+TEST(OfflineModel, OnsiteInfeasibleRequestForcedToZero) {
+    // No cloudlet can meet R = 0.999: the assignment row forces X = 0.
+    const Instance inst = small_instance({0.99}, 10.0, 5,
+                                         {make_request(0, 0, 0.999, 0, 2, 100.0)});
+    const OfflineModel model = build_onsite_model(inst);
+    const opt::LpSolution sol = opt::solve_lp(model.lp);
+    ASSERT_EQ(sol.status, opt::SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+TEST(OfflineModel, OffsiteRejectedRequestHasNoPlacements) {
+    // Fixing X = 0 must force all Y to 0 through the anchoring row (51).
+    const Instance inst = small_instance({0.99, 0.98}, 10.0, 5,
+                                         {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    OfflineModel model = build_offsite_model(inst);
+    model.lp.set_bounds(model.x_vars[0], 0.0, 0.0);
+    const opt::LpSolution sol = opt::solve_lp(model.lp);
+    ASSERT_EQ(sol.status, opt::SolveStatus::kOptimal);
+    for (std::size_t j = 0; j < 2; ++j) {
+        EXPECT_NEAR(sol.x[*model.y_vars[0][j]], 0.0, 1e-7);
+    }
+}
+
+TEST(OfflineModel, OffsiteAdmissionRequiresReliability) {
+    // Fixing X = 1 with weak cloudlets must be infeasible when even the
+    // full cloudlet set cannot reach R.
+    const Instance inst = small_instance({0.91, 0.91}, 10.0, 5,
+                                         {make_request(0, 1, 0.995, 0, 2, 5.0)});
+    OfflineModel model = build_offsite_model(inst);
+    model.lp.set_bounds(model.x_vars[0], 1.0, 1.0);
+    const opt::LpSolution sol = opt::solve_lp(model.lp);
+    EXPECT_EQ(sol.status, opt::SolveStatus::kInfeasible);
+}
+
+TEST(OfflineModel, AnchoringRowsDoNotChangeTheValue) {
+    // Rows (51) pin rejected requests' Y to 0 but never change the optimal
+    // value (LP or ILP) -- the basis for the fast value-only solver.
+    common::Rng rng(127);
+    const Instance inst = tiny_instance(rng, 7, 3);
+    const OfflineModel full = build_offsite_model(inst, true);
+    const OfflineModel relaxed = build_offsite_model(inst, false);
+    EXPECT_GT(full.lp.row_count(), relaxed.lp.row_count());
+
+    const opt::LpSolution lp_full = opt::solve_lp(full.lp);
+    const opt::LpSolution lp_relaxed = opt::solve_lp(relaxed.lp);
+    ASSERT_EQ(lp_full.status, opt::SolveStatus::kOptimal);
+    ASSERT_EQ(lp_relaxed.status, opt::SolveStatus::kOptimal);
+    EXPECT_NEAR(lp_full.objective, lp_relaxed.objective, 1e-6);
+
+    const opt::IlpSolution ilp_full = opt::solve_ilp(full.lp, full.binaries);
+    const opt::IlpSolution ilp_relaxed = opt::solve_ilp(relaxed.lp, relaxed.binaries);
+    ASSERT_TRUE(ilp_full.proven_optimal);
+    ASSERT_TRUE(ilp_relaxed.proven_optimal);
+    EXPECT_NEAR(ilp_full.objective, ilp_relaxed.objective, 1e-6);
+}
+
+TEST(SolveOffline, LpBoundDominatesIlp) {
+    common::Rng rng(67);
+    const Instance inst = tiny_instance(rng, 8, 3);
+    for (const Scheme scheme : {Scheme::kOnsite, Scheme::kOffsite}) {
+        const OfflineResult res = solve_offline(inst, scheme);
+        ASSERT_TRUE(res.lp_optimal);
+        ASSERT_TRUE(res.has_ilp);
+        EXPECT_GE(res.lp_bound, res.ilp_value - 1e-6);
+    }
+}
+
+TEST(SolveOffline, LpOnlyModeSkipsIlp) {
+    common::Rng rng(71);
+    const Instance inst = tiny_instance(rng, 6, 2);
+    OfflineConfig cfg;
+    cfg.run_ilp = false;
+    const OfflineResult res = solve_offline(inst, Scheme::kOnsite, cfg);
+    EXPECT_TRUE(res.lp_optimal);
+    EXPECT_FALSE(res.has_ilp);
+    EXPECT_EQ(res.bnb_nodes, 0u);
+}
+
+// Property: branch-and-bound on the ILP models equals exhaustive search.
+class OfflineExactTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OfflineExactTest, OnsiteIlpMatchesExhaustive) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const Instance inst = tiny_instance(rng, 7, 3);
+    const ExhaustiveResult exact = exhaustive_onsite(inst);
+    const OfflineResult ilp = solve_offline(inst, Scheme::kOnsite);
+    ASSERT_TRUE(ilp.has_ilp);
+    ASSERT_TRUE(ilp.ilp_proven);
+    EXPECT_NEAR(ilp.ilp_value, exact.revenue, 1e-6);
+    EXPECT_GE(ilp.lp_bound, exact.revenue - 1e-6);
+}
+
+TEST_P(OfflineExactTest, OffsiteIlpMatchesExhaustive) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 7);
+    const Instance inst = tiny_instance(rng, 6, 3);
+    const ExhaustiveResult exact = exhaustive_offsite(inst);
+    const OfflineResult ilp = solve_offline(inst, Scheme::kOffsite);
+    ASSERT_TRUE(ilp.has_ilp);
+    ASSERT_TRUE(ilp.ilp_proven);
+    EXPECT_NEAR(ilp.ilp_value, exact.revenue, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineExactTest, ::testing::Range(0, 8));
+
+TEST(Exhaustive, RespectsSizeGuards) {
+    common::Rng rng(73);
+    const Instance big = random_instance(rng, 20, 3, 6);
+    EXPECT_THROW(exhaustive_onsite(big), std::invalid_argument);
+    EXPECT_THROW(exhaustive_offsite(big), std::invalid_argument);
+}
+
+TEST(Exhaustive, OptimalDecisionsAreFeasible) {
+    common::Rng rng(79);
+    const Instance inst = tiny_instance(rng, 6, 3);
+    const ExhaustiveResult exact = exhaustive_onsite(inst);
+    // Replay the decisions and confirm revenue and capacity feasibility.
+    edge::ResourceLedger ledger(inst.network.capacities(), inst.horizon);
+    double revenue = 0.0;
+    for (std::size_t i = 0; i < exact.decisions.size(); ++i) {
+        const Decision& d = exact.decisions[i];
+        if (!d.admitted) continue;
+        revenue += inst.requests[i].payment;
+        for (const Site& s : d.placement.sites) {
+            ASSERT_TRUE(ledger.reserve(
+                s.cloudlet, inst.requests[i].arrival, inst.requests[i].end(),
+                s.replicas * inst.catalog.compute_units(inst.requests[i].vnf)));
+        }
+    }
+    EXPECT_NEAR(revenue, exact.revenue, 1e-9);
+}
+
+TEST(SolveOffline, DominatesGreedyOnline) {
+    // The offline optimum upper-bounds any online algorithm's revenue.
+    common::Rng rng(83);
+    const Instance inst = tiny_instance(rng, 8, 3);
+    OnsiteGreedy greedy(inst);
+    const ScheduleResult greedy_result = run_online(inst, greedy);
+    const OfflineResult off = solve_offline(inst, Scheme::kOnsite);
+    ASSERT_TRUE(off.has_ilp);
+    EXPECT_GE(off.ilp_value, greedy_result.revenue - 1e-6);
+}
+
+}  // namespace
+}  // namespace vnfr::core

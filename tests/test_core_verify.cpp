@@ -1,0 +1,128 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/greedy.hpp"
+#include "core/hybrid_primal_dual.hpp"
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "helpers.hpp"
+
+namespace vnfr::core {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::random_instance;
+using vnfr::testing::small_instance;
+
+bool has_violation(const VerificationReport& report, ScheduleViolation::Kind kind) {
+    for (const ScheduleViolation& v : report.violations) {
+        if (v.kind == kind) return true;
+    }
+    return false;
+}
+
+TEST(VerifySchedule, AcceptsEveryEnforcingScheduler) {
+    common::Rng rng(301);
+    const Instance inst = random_instance(rng, 80, 4, 12, 8, 15);
+    OnsitePrimalDual a1(inst);
+    OffsitePrimalDual a2(inst);
+    OnsiteGreedy g1(inst);
+    OffsiteGreedy g2(inst);
+    HybridPrimalDual h(inst);
+    for (OnlineScheduler* s :
+         std::initializer_list<OnlineScheduler*>{&a1, &a2, &g1, &g2, &h}) {
+        const ScheduleResult result = run_online(inst, *s);
+        const VerificationReport report = verify_schedule(inst, result.decisions);
+        EXPECT_TRUE(report.ok()) << s->name() << ": " << report.violations.size()
+                                 << " violations";
+        EXPECT_NEAR(report.revenue, result.revenue, 1e-9);
+        EXPECT_EQ(report.admitted, result.admitted);
+    }
+}
+
+TEST(VerifySchedule, PureVariantPassesOnlyWithTolerance) {
+    common::Rng rng(303);
+    // Tight capacity so the pure variant actually violates.
+    const Instance inst = random_instance(rng, 120, 3, 12, 5, 8);
+    OnsitePrimalDual pure(inst, OnsitePrimalDualConfig{.enforce_capacity = false});
+    const ScheduleResult result = run_online(inst, pure);
+    if (result.max_overshoot > 0.0) {
+        const VerificationReport strict = verify_schedule(inst, result.decisions, 1.0);
+        EXPECT_TRUE(has_violation(strict, ScheduleViolation::Kind::kCapacityExceeded));
+    }
+    const double xi = compute_onsite_bounds(inst).xi;
+    const VerificationReport relaxed = verify_schedule(inst, result.decisions, xi);
+    EXPECT_TRUE(relaxed.ok()) << "Lemma 8 tolerance must admit the pure schedule";
+}
+
+TEST(VerifySchedule, DetectsDecisionCountMismatch) {
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const VerificationReport report = verify_schedule(inst, {});
+    EXPECT_TRUE(has_violation(report, ScheduleViolation::Kind::kDecisionCountMismatch));
+}
+
+TEST(VerifySchedule, DetectsEmptyPlacement) {
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;  // admitted but no sites
+    const VerificationReport report = verify_schedule(inst, decisions);
+    EXPECT_TRUE(has_violation(report, ScheduleViolation::Kind::kEmptyPlacement));
+}
+
+TEST(VerifySchedule, DetectsUnknownCloudletAndBadReplicas) {
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{7}, 1}}};
+    EXPECT_TRUE(has_violation(verify_schedule(inst, decisions),
+                              ScheduleViolation::Kind::kUnknownCloudlet));
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{0}, 0}}};
+    EXPECT_TRUE(has_violation(verify_schedule(inst, decisions),
+                              ScheduleViolation::Kind::kNonPositiveReplicas));
+}
+
+TEST(VerifySchedule, DetectsDuplicateSites) {
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;
+    decisions[0].placement =
+        Placement{RequestId{0}, {Site{CloudletId{0}, 1}, Site{CloudletId{0}, 1}}};
+    EXPECT_TRUE(has_violation(verify_schedule(inst, decisions),
+                              ScheduleViolation::Kind::kDuplicateSite));
+}
+
+TEST(VerifySchedule, DetectsCapacityOverrun) {
+    // Capacity 3 but the placement needs 2 replicas x 2 units = 4.
+    const Instance inst = small_instance({0.99}, 3.0, 5, {make_request(0, 1, 0.9, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{0}, 2}}};
+    const VerificationReport report = verify_schedule(inst, decisions);
+    EXPECT_TRUE(has_violation(report, ScheduleViolation::Kind::kCapacityExceeded));
+    EXPECT_GT(report.max_load_factor, 1.0);
+}
+
+TEST(VerifySchedule, DetectsReliabilityShortfall) {
+    // One replica of a 0.95-reliable VNF on a 0.99 cloudlet: availability
+    // 0.9405 < requirement 0.95.
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.95, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{0}, 1}}};
+    EXPECT_TRUE(has_violation(verify_schedule(inst, decisions),
+                              ScheduleViolation::Kind::kReliabilityNotMet));
+}
+
+TEST(VerifySchedule, RejectionIsAlwaysClean) {
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);  // rejected by default
+    const VerificationReport report = verify_schedule(inst, decisions);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.admitted, 0u);
+    EXPECT_DOUBLE_EQ(report.revenue, 0.0);
+}
+
+}  // namespace
+}  // namespace vnfr::core

@@ -1,0 +1,60 @@
+#include "edge/visualization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+#include "net/topology_zoo.hpp"
+
+namespace vnfr::edge {
+namespace {
+
+TEST(Visualization, GraphDotContainsAllNodesAndEdges) {
+    const net::Graph g = net::ring(4);
+    const std::string dot = to_dot(g);
+    EXPECT_NE(dot.find("graph vnfr {"), std::string::npos);
+    for (int v = 0; v < 4; ++v) {
+        EXPECT_NE(dot.find("n" + std::to_string(v) + " ["), std::string::npos);
+    }
+    // A ring of 4 has 4 undirected edges.
+    std::size_t edges = 0;
+    for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+         pos = dot.find(" -- ", pos + 1)) {
+        ++edges;
+    }
+    EXPECT_EQ(edges, 4u);
+}
+
+TEST(Visualization, NamedNodesUseTheirNames) {
+    const net::Graph g = net::load_topology("abilene");
+    const std::string dot = to_dot(g);
+    EXPECT_NE(dot.find("Seattle"), std::string::npos);
+    EXPECT_NE(dot.find("NewYork"), std::string::npos);
+}
+
+TEST(Visualization, CloudletsAreHighlighted) {
+    MecNetwork mec(net::ring(5));
+    mec.add_cloudlet(NodeId{2}, 42.0, 0.97);
+    const std::string dot = to_dot(mec);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+    EXPECT_NE(dot.find("cap=42"), std::string::npos);
+    EXPECT_NE(dot.find("r=0.97"), std::string::npos);
+}
+
+TEST(Visualization, CoordinateEmissionToggle) {
+    const net::Graph g = net::load_topology("abilene");
+    DotOptions with;
+    with.use_coordinates = true;
+    DotOptions without;
+    without.use_coordinates = false;
+    EXPECT_NE(to_dot(g, with).find("pos=\""), std::string::npos);
+    EXPECT_EQ(to_dot(g, without).find("pos=\""), std::string::npos);
+}
+
+TEST(Visualization, CustomGraphName) {
+    DotOptions opts;
+    opts.graph_name = "mec_demo";
+    EXPECT_NE(to_dot(net::ring(3), opts).find("graph mec_demo {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vnfr::edge

@@ -1,0 +1,131 @@
+#include "net/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "net/algorithms.hpp"
+
+namespace vnfr::net {
+namespace {
+
+class GeneratorSeedTest : public ::testing::TestWithParam<int> {
+  protected:
+    common::Rng rng_{static_cast<std::uint64_t>(GetParam())};
+};
+
+TEST_P(GeneratorSeedTest, ErdosRenyiForcedConnected) {
+    const Graph g = erdos_renyi(30, 0.05, rng_, true);
+    EXPECT_EQ(g.node_count(), 30u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(GeneratorSeedTest, BarabasiAlbertConnectedAndSized) {
+    const Graph g = barabasi_albert(40, 2, rng_);
+    EXPECT_EQ(g.node_count(), 40u);
+    EXPECT_TRUE(is_connected(g));
+    // Seed clique C(3,2)=3 edges + 2 per subsequent node.
+    EXPECT_EQ(g.edge_count(), 3u + 2u * 37u);
+}
+
+TEST_P(GeneratorSeedTest, WaxmanForcedConnected) {
+    const Graph g = waxman(25, 0.8, 0.5, rng_, true);
+    EXPECT_EQ(g.node_count(), 25u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(GeneratorSeedTest, WaxmanWeightsArePositiveDistances) {
+    const Graph g = waxman(15, 0.9, 0.9, rng_, true);
+    for (const Edge& e : g.edges()) {
+        EXPECT_GT(e.weight, 0.0);
+        EXPECT_LE(e.weight, std::sqrt(2.0) + 1e-9);  // unit square diagonal
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest, ::testing::Range(1, 9));
+
+TEST(Generators, ErdosRenyiDeterministic) {
+    common::Rng a(7);
+    common::Rng b(7);
+    const Graph g1 = erdos_renyi(20, 0.3, a);
+    const Graph g2 = erdos_renyi(20, 0.3, b);
+    ASSERT_EQ(g1.edge_count(), g2.edge_count());
+    for (std::size_t i = 0; i < g1.edge_count(); ++i) {
+        EXPECT_EQ(g1.edges()[i].a, g2.edges()[i].a);
+        EXPECT_EQ(g1.edges()[i].b, g2.edges()[i].b);
+    }
+}
+
+TEST(Generators, ErdosRenyiFullProbabilityIsComplete) {
+    common::Rng rng(1);
+    const Graph g = erdos_renyi(10, 1.0, rng, false);
+    EXPECT_EQ(g.edge_count(), 45u);
+}
+
+TEST(Generators, ErdosRenyiZeroProbabilityUnforced) {
+    common::Rng rng(1);
+    const Graph g = erdos_renyi(10, 0.0, rng, false);
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Generators, ErdosRenyiRejectsBadProbability) {
+    common::Rng rng(1);
+    EXPECT_THROW(erdos_renyi(5, -0.1, rng), std::invalid_argument);
+    EXPECT_THROW(erdos_renyi(5, 1.1, rng), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertRejectsBadParameters) {
+    common::Rng rng(1);
+    EXPECT_THROW(barabasi_albert(5, 0, rng), std::invalid_argument);
+    EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertHubsEmerge) {
+    common::Rng rng(2);
+    const Graph g = barabasi_albert(200, 2, rng);
+    std::size_t max_degree = 0;
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        max_degree = std::max(max_degree, g.degree(NodeId{static_cast<std::int64_t>(v)}));
+    }
+    // Preferential attachment produces hubs far above the mean degree (~4).
+    EXPECT_GT(max_degree, 10u);
+}
+
+TEST(Generators, WaxmanRejectsBadParameters) {
+    common::Rng rng(1);
+    EXPECT_THROW(waxman(5, 0.0, 0.5, rng), std::invalid_argument);
+    EXPECT_THROW(waxman(5, 0.5, 0.0, rng), std::invalid_argument);
+    EXPECT_THROW(waxman(5, 1.5, 0.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, RingStructure) {
+    const Graph g = ring(6);
+    EXPECT_EQ(g.node_count(), 6u);
+    EXPECT_EQ(g.edge_count(), 6u);
+    EXPECT_TRUE(is_connected(g));
+    for (std::size_t v = 0; v < 6; ++v) {
+        EXPECT_EQ(g.degree(NodeId{static_cast<std::int64_t>(v)}), 2u);
+    }
+    EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Generators, GridStructure) {
+    const Graph g = grid(3, 4);
+    EXPECT_EQ(g.node_count(), 12u);
+    // Horizontal: 3 rows x 3 = 9; vertical: 2 x 4 = 8.
+    EXPECT_EQ(g.edge_count(), 17u);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_THROW(grid(0, 4), std::invalid_argument);
+}
+
+TEST(Generators, CompleteStructure) {
+    const Graph g = complete(7);
+    EXPECT_EQ(g.edge_count(), 21u);
+    for (std::size_t v = 0; v < 7; ++v) {
+        EXPECT_EQ(g.degree(NodeId{static_cast<std::int64_t>(v)}), 6u);
+    }
+}
+
+}  // namespace
+}  // namespace vnfr::net

@@ -1,0 +1,239 @@
+#include "net/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/generators.hpp"
+
+namespace vnfr::net {
+namespace {
+
+Graph diamond() {
+    // 0 -1- 1 -1- 3,  0 -3- 2 -1- 3, plus a direct heavy 0-3.
+    Graph g(4);
+    g.add_edge(NodeId{0}, NodeId{1}, 1.0);
+    g.add_edge(NodeId{1}, NodeId{3}, 1.0);
+    g.add_edge(NodeId{0}, NodeId{2}, 3.0);
+    g.add_edge(NodeId{2}, NodeId{3}, 1.0);
+    g.add_edge(NodeId{0}, NodeId{3}, 5.0);
+    return g;
+}
+
+TEST(Dijkstra, FindsShortestDistances) {
+    const Graph g = diamond();
+    const auto tree = dijkstra(g, NodeId{0});
+    EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+    EXPECT_DOUBLE_EQ(tree.distance[1], 1.0);
+    EXPECT_DOUBLE_EQ(tree.distance[2], 3.0);
+    EXPECT_DOUBLE_EQ(tree.distance[3], 2.0);
+}
+
+TEST(Dijkstra, ReconstructsPath) {
+    const Graph g = diamond();
+    const auto tree = dijkstra(g, NodeId{0});
+    const auto path = tree.path_to(NodeId{3});
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], NodeId{0});
+    EXPECT_EQ(path[1], NodeId{1});
+    EXPECT_EQ(path[2], NodeId{3});
+}
+
+TEST(Dijkstra, UnreachableNode) {
+    Graph g(3);
+    g.add_edge(NodeId{0}, NodeId{1});
+    const auto tree = dijkstra(g, NodeId{0});
+    EXPECT_EQ(tree.distance[2], kUnreachable);
+    EXPECT_TRUE(tree.path_to(NodeId{2}).empty());
+}
+
+TEST(Dijkstra, RejectsUnknownSource) {
+    Graph g(2);
+    EXPECT_THROW(dijkstra(g, NodeId{9}), std::invalid_argument);
+}
+
+TEST(Dijkstra, SourcePathIsItself) {
+    const Graph g = diamond();
+    const auto tree = dijkstra(g, NodeId{0});
+    const auto path = tree.path_to(NodeId{0});
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], NodeId{0});
+}
+
+// Property: Dijkstra distances on random graphs match Bellman-Ford.
+class DijkstraRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraRandomTest, MatchesBellmanFord) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Graph g = erdos_renyi(15, 0.3, rng, true);
+    // Reassign random weights by rebuilding.
+    Graph h(g.node_count());
+    for (const Edge& e : g.edges()) h.add_edge(e.a, e.b, rng.uniform(0.5, 10.0));
+
+    const auto tree = dijkstra(h, NodeId{0});
+
+    std::vector<double> bf(h.node_count(), kUnreachable);
+    bf[0] = 0.0;
+    for (std::size_t round = 0; round < h.node_count(); ++round) {
+        for (const Edge& e : h.edges()) {
+            if (bf[e.a.index()] + e.weight < bf[e.b.index()])
+                bf[e.b.index()] = bf[e.a.index()] + e.weight;
+            if (bf[e.b.index()] + e.weight < bf[e.a.index()])
+                bf[e.a.index()] = bf[e.b.index()] + e.weight;
+        }
+    }
+    for (std::size_t v = 0; v < h.node_count(); ++v) {
+        EXPECT_NEAR(tree.distance[v], bf[v], 1e-9) << "node " << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraRandomTest, ::testing::Range(0, 10));
+
+TEST(BfsHops, CountsEdgesNotWeights) {
+    const Graph g = diamond();
+    const auto hops = bfs_hops(g, NodeId{0});
+    EXPECT_EQ(hops[0], 0);
+    EXPECT_EQ(hops[3], 1);  // direct heavy edge is 1 hop
+    EXPECT_EQ(hops[1], 1);
+    EXPECT_EQ(hops[2], 1);
+}
+
+TEST(BfsHops, UnreachableIsMinusOne) {
+    Graph g(3);
+    g.add_edge(NodeId{0}, NodeId{1});
+    EXPECT_EQ(bfs_hops(g, NodeId{0})[2], -1);
+}
+
+TEST(AllPairs, SymmetricMatrix) {
+    common::Rng rng(3);
+    const Graph g = erdos_renyi(12, 0.4, rng, true);
+    const auto dist = all_pairs_distances(g);
+    const auto hops = all_pairs_hops(g);
+    for (std::size_t a = 0; a < g.node_count(); ++a) {
+        for (std::size_t b = 0; b < g.node_count(); ++b) {
+            EXPECT_NEAR(dist[a][b], dist[b][a], 1e-9);
+            EXPECT_EQ(hops[a][b], hops[b][a]);
+        }
+        EXPECT_DOUBLE_EQ(dist[a][a], 0.0);
+        EXPECT_EQ(hops[a][a], 0);
+    }
+}
+
+TEST(KShortest, FirstPathIsShortest) {
+    const Graph g = diamond();
+    const auto paths = k_shortest_paths(g, NodeId{0}, NodeId{3}, 3);
+    ASSERT_GE(paths.size(), 1u);
+    EXPECT_DOUBLE_EQ(paths[0].weight, 2.0);
+}
+
+TEST(KShortest, PathsInNonDecreasingOrder) {
+    const Graph g = diamond();
+    const auto paths = k_shortest_paths(g, NodeId{0}, NodeId{3}, 5);
+    ASSERT_EQ(paths.size(), 3u);  // exactly three loopless 0->3 paths
+    EXPECT_DOUBLE_EQ(paths[0].weight, 2.0);
+    EXPECT_DOUBLE_EQ(paths[1].weight, 4.0);
+    EXPECT_DOUBLE_EQ(paths[2].weight, 5.0);
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+        EXPECT_LE(paths[i - 1].weight, paths[i].weight);
+    }
+}
+
+TEST(KShortest, PathsAreLoopless) {
+    common::Rng rng(5);
+    const Graph g = erdos_renyi(10, 0.5, rng, true);
+    const auto paths = k_shortest_paths(g, NodeId{0}, NodeId{9}, 8);
+    for (const auto& p : paths) {
+        std::vector<NodeId> nodes = p.nodes;
+        std::sort(nodes.begin(), nodes.end());
+        EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end())
+            << "path revisits a node";
+    }
+}
+
+TEST(KShortest, PathsAreDistinct) {
+    common::Rng rng(6);
+    const Graph g = erdos_renyi(10, 0.5, rng, true);
+    auto paths = k_shortest_paths(g, NodeId{0}, NodeId{9}, 6);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        for (std::size_t j = i + 1; j < paths.size(); ++j) {
+            EXPECT_NE(paths[i].nodes, paths[j].nodes);
+        }
+    }
+}
+
+TEST(KShortest, ZeroKReturnsEmpty) {
+    const Graph g = diamond();
+    EXPECT_TRUE(k_shortest_paths(g, NodeId{0}, NodeId{3}, 0).empty());
+}
+
+TEST(KShortest, DisconnectedReturnsEmpty) {
+    Graph g(3);
+    g.add_edge(NodeId{0}, NodeId{1});
+    EXPECT_TRUE(k_shortest_paths(g, NodeId{0}, NodeId{2}, 3).empty());
+}
+
+// Property: Yen's output equals brute-force enumeration of all simple
+// paths sorted by weight, on small random graphs.
+class YenBruteForceTest : public ::testing::TestWithParam<int> {};
+
+namespace detail {
+void enumerate_paths(const Graph& g, NodeId current, NodeId target,
+                     std::vector<NodeId>& path, std::vector<bool>& visited, double weight,
+                     std::vector<WeightedPath>& out) {
+    if (current == target) {
+        out.push_back({path, weight});
+        return;
+    }
+    for (const Adjacency& adj : g.neighbors(current)) {
+        if (visited[adj.neighbor.index()]) continue;
+        visited[adj.neighbor.index()] = true;
+        path.push_back(adj.neighbor);
+        enumerate_paths(g, adj.neighbor, target, path, visited, weight + adj.weight, out);
+        path.pop_back();
+        visited[adj.neighbor.index()] = false;
+    }
+}
+}  // namespace detail
+
+TEST_P(YenBruteForceTest, MatchesExhaustiveEnumeration) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 11);
+    Graph base = erdos_renyi(7, 0.45, rng, true);
+    Graph g(base.node_count());
+    for (const Edge& e : base.edges()) g.add_edge(e.a, e.b, rng.uniform(0.5, 5.0));
+
+    const NodeId source{0};
+    const NodeId target{6};
+    std::vector<WeightedPath> all;
+    std::vector<NodeId> path{source};
+    std::vector<bool> visited(g.node_count(), false);
+    visited[source.index()] = true;
+    detail::enumerate_paths(g, source, target, path, visited, 0.0, all);
+    std::sort(all.begin(), all.end(),
+              [](const WeightedPath& a, const WeightedPath& b) { return a.weight < b.weight; });
+
+    const std::size_t k = std::min<std::size_t>(5, all.size());
+    const auto yen = k_shortest_paths(g, source, target, k);
+    ASSERT_EQ(yen.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+        // Weights must agree exactly (paths may differ under ties).
+        EXPECT_NEAR(yen[i].weight, all[i].weight, 1e-9) << "rank " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YenBruteForceTest, ::testing::Range(0, 10));
+
+TEST(KShortest, PathWeightsConsistent) {
+    const Graph g = diamond();
+    for (const auto& p : k_shortest_paths(g, NodeId{0}, NodeId{3}, 3)) {
+        double w = 0.0;
+        for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+            w += *g.edge_weight(p.nodes[i], p.nodes[i + 1]);
+        }
+        EXPECT_NEAR(w, p.weight, 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace vnfr::net

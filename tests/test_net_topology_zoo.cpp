@@ -1,0 +1,106 @@
+#include "net/topology_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/algorithms.hpp"
+
+namespace vnfr::net {
+namespace {
+
+TEST(TopologyZoo, ListsAllNames) {
+    const auto names = topology_names();
+    ASSERT_EQ(names.size(), 6u);
+    for (const auto& name : names) {
+        EXPECT_NO_THROW(load_topology(name)) << name;
+    }
+}
+
+TEST(TopologyZoo, UnknownNameThrows) {
+    EXPECT_THROW(load_topology("does-not-exist"), std::invalid_argument);
+}
+
+TEST(TopologyZoo, AbileneShape) {
+    const Graph g = load_topology("abilene");
+    EXPECT_EQ(g.node_count(), 11u);
+    EXPECT_EQ(g.edge_count(), 14u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TopologyZoo, NsfnetShape) {
+    const Graph g = load_topology("nsfnet");
+    EXPECT_EQ(g.node_count(), 14u);
+    EXPECT_EQ(g.edge_count(), 21u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TopologyZoo, GeantShape) {
+    const Graph g = load_topology("geant");
+    EXPECT_EQ(g.node_count(), 23u);
+    EXPECT_EQ(g.edge_count(), 37u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TopologyZoo, AttShape) {
+    const Graph g = load_topology("att");
+    EXPECT_EQ(g.node_count(), 25u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TopologyZoo, Internet2Shape) {
+    const Graph g = load_topology("internet2");
+    EXPECT_EQ(g.node_count(), 34u);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TopologyZoo, Cost266Shape) {
+    const Graph g = load_topology("cost266");
+    EXPECT_EQ(g.node_count(), 36u);
+    EXPECT_TRUE(is_connected(g));
+    // The COST 266 reference network is 2-connected by design: every node
+    // has degree >= 2.
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        EXPECT_GE(g.degree(NodeId{static_cast<std::int64_t>(v)}), 2u);
+    }
+}
+
+class ZooTopologyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooTopologyTest, AllNodesNamed) {
+    const Graph g = load_topology(GetParam());
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        EXPECT_FALSE(g.node_name(NodeId{static_cast<std::int64_t>(v)}).empty());
+    }
+}
+
+TEST_P(ZooTopologyTest, WeightsAreGeographicDistances) {
+    const Graph g = load_topology(GetParam());
+    for (const Edge& e : g.edges()) {
+        EXPECT_GT(e.weight, 0.0);
+        EXPECT_NEAR(e.weight, std::max(g.euclidean(e.a, e.b), 0.1), 1e-9);
+    }
+}
+
+TEST_P(ZooTopologyTest, NoIsolatedNodes) {
+    const Graph g = load_topology(GetParam());
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        EXPECT_GE(g.degree(NodeId{static_cast<std::int64_t>(v)}), 1u);
+    }
+}
+
+TEST_P(ZooTopologyTest, LoadIsDeterministic) {
+    const Graph a = load_topology(GetParam());
+    const Graph b = load_topology(GetParam());
+    ASSERT_EQ(a.node_count(), b.node_count());
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    for (std::size_t i = 0; i < a.edge_count(); ++i) {
+        EXPECT_EQ(a.edges()[i].a, b.edges()[i].a);
+        EXPECT_DOUBLE_EQ(a.edges()[i].weight, b.edges()[i].weight);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, ZooTopologyTest,
+                         ::testing::Values("abilene", "nsfnet", "geant", "att",
+                                           "internet2", "cost266"));
+
+}  // namespace
+}  // namespace vnfr::net

@@ -1,0 +1,171 @@
+#include "opt/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/lp.hpp"
+
+namespace vnfr::opt {
+namespace {
+
+TEST(BranchAndBound, TrivialBinary) {
+    // max 3x + 2y, x + y <= 1, binary: pick x.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(3.0, 1.0);
+    const std::size_t y = lp.add_variable(2.0, 1.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 1.0);
+    const IlpSolution sol = solve_ilp(lp, {x, y});
+    ASSERT_TRUE(sol.has_incumbent);
+    EXPECT_TRUE(sol.proven_optimal);
+    EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+    EXPECT_NEAR(sol.x[x], 1.0, 1e-9);
+    EXPECT_NEAR(sol.x[y], 0.0, 1e-9);
+}
+
+TEST(BranchAndBound, FractionalLpForcedIntegral) {
+    // Knapsack where the LP relaxation is fractional:
+    // max 10a + 6b + 4c s.t. a+b+c <= 2 (fits), 5a+4b+3c <= 8.
+    // LP takes a=1, b=0.75 -> 14.5; ILP optimum is a+c = 14.
+    LinearProgram lp;
+    const std::size_t a = lp.add_variable(10.0, 1.0);
+    const std::size_t b = lp.add_variable(6.0, 1.0);
+    const std::size_t c = lp.add_variable(4.0, 1.0);
+    lp.add_row({{a, 5.0}, {b, 4.0}, {c, 3.0}}, Relation::kLe, 8.0);
+    const IlpSolution sol = solve_ilp(lp, {a, b, c});
+    ASSERT_TRUE(sol.has_incumbent);
+    EXPECT_TRUE(sol.proven_optimal);
+    EXPECT_NEAR(sol.objective, 14.0, 1e-7);
+}
+
+TEST(BranchAndBound, InfeasibleDetected) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 1.0);
+    lp.add_row({{x, 1.0}}, Relation::kGe, 2.0);
+    const IlpSolution sol = solve_ilp(lp, {x});
+    EXPECT_FALSE(sol.has_incumbent);
+    EXPECT_TRUE(sol.infeasible);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+    // x binary, y continuous in [0, 10]: max 5x + y, x + y <= 3.5.
+    // Optimum x = 1, y = 2.5 -> 7.5.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(5.0, 1.0);
+    const std::size_t y = lp.add_variable(1.0, 10.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 3.5);
+    const IlpSolution sol = solve_ilp(lp, {x});
+    ASSERT_TRUE(sol.has_incumbent);
+    EXPECT_NEAR(sol.objective, 7.5, 1e-7);
+    EXPECT_NEAR(sol.x[x], 1.0, 1e-9);
+    EXPECT_NEAR(sol.x[y], 2.5, 1e-7);
+}
+
+TEST(BranchAndBound, RejectsBadBinaryDeclaration) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 2.0);  // ub 2 can't be binary
+    EXPECT_THROW(solve_ilp(lp, {x}), std::invalid_argument);
+    EXPECT_THROW(solve_ilp(lp, {9}), std::invalid_argument);
+}
+
+TEST(BranchAndBound, BoundNeverBelowIncumbent) {
+    LinearProgram lp;
+    const std::size_t a = lp.add_variable(7.0, 1.0);
+    const std::size_t b = lp.add_variable(5.0, 1.0);
+    const std::size_t c = lp.add_variable(3.0, 1.0);
+    lp.add_row({{a, 4.0}, {b, 3.0}, {c, 2.0}}, Relation::kLe, 5.0);
+    const IlpSolution sol = solve_ilp(lp, {a, b, c});
+    ASSERT_TRUE(sol.has_incumbent);
+    EXPECT_GE(sol.best_bound, sol.objective - 1e-9);
+}
+
+TEST(BranchAndBound, NodeLimitReturnsUnproven) {
+    LinearProgram lp;
+    std::vector<std::size_t> binaries;
+    std::vector<std::pair<std::size_t, double>> row;
+    common::Rng rng(3);
+    for (int j = 0; j < 20; ++j) {
+        const std::size_t v = lp.add_variable(rng.uniform(1.0, 10.0), 1.0);
+        binaries.push_back(v);
+        row.emplace_back(v, rng.uniform(1.0, 5.0));
+    }
+    lp.add_row(std::move(row), Relation::kLe, 20.0);
+    BnbOptions opts;
+    opts.max_nodes = 3;
+    const IlpSolution sol = solve_ilp(lp, binaries, opts);
+    EXPECT_FALSE(sol.proven_optimal);
+    EXPECT_GE(sol.best_bound, sol.objective - 1e-9);
+}
+
+/// Exhaustive 0/1 knapsack-with-side-constraints reference.
+double brute_force_best(const std::vector<double>& values,
+                        const std::vector<std::vector<double>>& rows,
+                        const std::vector<double>& rhs) {
+    const std::size_t n = values.size();
+    double best = 0.0;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+        bool ok = true;
+        for (std::size_t i = 0; i < rows.size() && ok; ++i) {
+            double lhs = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (mask & (1u << j)) lhs += rows[i][j];
+            }
+            ok = lhs <= rhs[i] + 1e-9;
+        }
+        if (!ok) continue;
+        double v = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (mask & (1u << j)) v += values[j];
+        }
+        best = std::max(best, v);
+    }
+    return best;
+}
+
+// Property: branch-and-bound equals exhaustive enumeration on random
+// multi-constraint 0/1 problems.
+class BnbRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbRandomTest, MatchesBruteForce) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 13);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4, 12));
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 4));
+
+    std::vector<double> values(n);
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
+    std::vector<double> rhs(m);
+
+    LinearProgram lp;
+    std::vector<std::size_t> binaries;
+    for (std::size_t j = 0; j < n; ++j) {
+        values[j] = rng.uniform(1.0, 10.0);
+        binaries.push_back(lp.add_variable(values[j], 1.0));
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t j = 0; j < n; ++j) {
+            rows[i][j] = rng.uniform(0.5, 4.0);
+            terms.emplace_back(j, rows[i][j]);
+        }
+        rhs[i] = rng.uniform(2.0, 1.5 * static_cast<double>(n));
+        lp.add_row(std::move(terms), Relation::kLe, rhs[i]);
+    }
+
+    const IlpSolution sol = solve_ilp(lp, binaries);
+    const double reference = brute_force_best(values, rows, rhs);
+    ASSERT_TRUE(sol.has_incumbent);
+    EXPECT_TRUE(sol.proven_optimal);
+    EXPECT_NEAR(sol.objective, reference, 1e-6);
+    // The reported solution must itself be feasible and integral.
+    EXPECT_LE(lp.max_violation(sol.x), 1e-6);
+    for (const std::size_t v : binaries) {
+        EXPECT_NEAR(sol.x[v], std::round(sol.x[v]), 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbRandomTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace vnfr::opt

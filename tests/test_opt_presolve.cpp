@@ -1,0 +1,177 @@
+#include "opt/presolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "opt/simplex.hpp"
+
+namespace vnfr::opt {
+namespace {
+
+TEST(Presolve, NoReductionsOnCleanProgram) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 5.0);
+    const std::size_t y = lp.add_variable(2.0, 5.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0);
+    const PresolveResult pre = presolve(lp);
+    EXPECT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.removed_rows, 0u);
+    EXPECT_EQ(pre.removed_variables, 0u);
+    EXPECT_EQ(pre.reduced.variable_count(), 2u);
+    EXPECT_EQ(pre.reduced.row_count(), 1u);
+}
+
+TEST(Presolve, SubstitutesFixedVariables) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(3.0, 5.0);
+    const std::size_t y = lp.add_variable(1.0, 5.0);
+    lp.set_bounds(x, 2.0, 2.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 6.0);
+    const PresolveResult pre = presolve(lp);
+    ASSERT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.removed_variables, 1u);
+    EXPECT_DOUBLE_EQ(pre.objective_offset, 6.0);  // 3 * 2
+    ASSERT_EQ(pre.reduced.variable_count(), 1u);
+    // The row became y <= 4 (a singleton) and was folded into y's bound.
+    EXPECT_EQ(pre.reduced.row_count(), 0u);
+    EXPECT_DOUBLE_EQ(pre.reduced.upper_bound(0), 4.0);
+}
+
+TEST(Presolve, DropsEmptyRows) {
+    LinearProgram lp;
+    lp.add_variable(1.0, 1.0);
+    lp.add_row({}, Relation::kLe, 3.0);   // trivially true
+    lp.add_row({}, Relation::kGe, -1.0);  // trivially true
+    const PresolveResult pre = presolve(lp);
+    EXPECT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.removed_rows, 2u);
+    EXPECT_EQ(pre.reduced.row_count(), 0u);
+}
+
+TEST(Presolve, DetectsEmptyRowInfeasibility) {
+    LinearProgram lp;
+    lp.add_variable(1.0, 1.0);
+    lp.add_row({}, Relation::kGe, 2.0);
+    EXPECT_TRUE(presolve(lp).infeasible);
+}
+
+TEST(Presolve, SingletonRowTightensUpperBound) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0);
+    lp.add_row({{x, 2.0}}, Relation::kLe, 6.0);
+    const PresolveResult pre = presolve(lp);
+    ASSERT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.reduced.row_count(), 0u);
+    EXPECT_DOUBLE_EQ(pre.reduced.upper_bound(0), 3.0);
+}
+
+TEST(Presolve, SingletonRowRaisesLowerBound) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(-1.0, 10.0);
+    lp.add_row({{x, 1.0}}, Relation::kGe, 4.0);
+    const PresolveResult pre = presolve(lp);
+    ASSERT_FALSE(pre.infeasible);
+    EXPECT_DOUBLE_EQ(pre.reduced.lower_bound(0), 4.0);
+}
+
+TEST(Presolve, SingletonEqualityFixesVariable) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(5.0, 10.0);
+    const std::size_t y = lp.add_variable(1.0, 10.0);
+    lp.add_row({{x, 2.0}}, Relation::kEq, 6.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 8.0);
+    const PresolveResult pre = presolve(lp);
+    ASSERT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.removed_variables, 1u);
+    EXPECT_DOUBLE_EQ(pre.objective_offset, 15.0);  // 5 * 3
+    // y <= 5 folded from the second row.
+    EXPECT_DOUBLE_EQ(pre.reduced.upper_bound(0), 5.0);
+}
+
+TEST(Presolve, DetectsContradictorySingletons) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 2.0);
+    lp.add_row({{x, 1.0}}, Relation::kGe, 5.0);  // x >= 5 but x <= 2
+    EXPECT_TRUE(presolve(lp).infeasible);
+}
+
+TEST(Presolve, CascadesFixings) {
+    // x = 3 (equality singleton) -> row 2 becomes y = 1 -> all folded.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 10.0);
+    const std::size_t y = lp.add_variable(1.0, 10.0);
+    lp.add_row({{x, 1.0}}, Relation::kEq, 3.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kEq, 4.0);
+    const PresolveResult pre = presolve(lp);
+    ASSERT_FALSE(pre.infeasible);
+    EXPECT_EQ(pre.removed_variables, 2u);
+    EXPECT_EQ(pre.reduced.variable_count(), 0u);
+    EXPECT_DOUBLE_EQ(pre.objective_offset, 4.0);
+}
+
+TEST(Presolve, RestoreLiftsSolutions) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 10.0);
+    const std::size_t y = lp.add_variable(2.0, 10.0);
+    const std::size_t z = lp.add_variable(3.0, 10.0);
+    lp.set_bounds(y, 7.0, 7.0);
+    lp.add_row({{x, 1.0}, {z, 1.0}}, Relation::kLe, 5.0);
+    const PresolveResult pre = presolve(lp);
+    ASSERT_EQ(pre.reduced.variable_count(), 2u);
+    const std::vector<double> reduced_x{1.0, 4.0};
+    const std::vector<double> full = pre.restore(reduced_x);
+    ASSERT_EQ(full.size(), 3u);
+    EXPECT_DOUBLE_EQ(full[x], 1.0);
+    EXPECT_DOUBLE_EQ(full[y], 7.0);
+    EXPECT_DOUBLE_EQ(full[z], 4.0);
+    EXPECT_THROW(pre.restore({1.0}), std::invalid_argument);
+}
+
+// Property: presolve preserves the optimum on random programs with mixed
+// fixed variables, singletons and empty rows.
+class PresolveEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalence, OptimumPreserved) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 10007 + 3);
+    LinearProgram lp;
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 10));
+    for (std::size_t j = 0; j < n; ++j) {
+        const double ub = rng.uniform(1.0, 6.0);
+        lp.add_variable(rng.uniform(-1.0, 4.0), ub);
+        if (rng.bernoulli(0.25)) {
+            const double v = rng.uniform(0.0, ub);
+            lp.set_bounds(j, v, v);  // fixed variable
+        }
+    }
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t k = 0; k < m; ++k) {
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (rng.bernoulli(0.4)) terms.emplace_back(j, rng.uniform(0.2, 2.0));
+        }
+        lp.add_row(std::move(terms), Relation::kLe,
+                   rng.uniform(0.5, 3.0 * static_cast<double>(n)));
+    }
+
+    const LpSolution direct = solve_lp(lp);
+    const PresolveResult pre = presolve(lp);
+    if (pre.infeasible) {
+        EXPECT_EQ(direct.status, SolveStatus::kInfeasible);
+        return;
+    }
+    const LpSolution reduced = solve_lp(pre.reduced);
+    ASSERT_EQ(direct.status, reduced.status);
+    if (direct.status != SolveStatus::kOptimal) return;
+    EXPECT_NEAR(direct.objective, reduced.objective + pre.objective_offset,
+                1e-6 * (1.0 + std::fabs(direct.objective)));
+    // The restored solution must be feasible for the original program.
+    const std::vector<double> restored = pre.restore(reduced.x);
+    EXPECT_LE(lp.max_violation(restored), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalence, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace vnfr::opt

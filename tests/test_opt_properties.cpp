@@ -1,0 +1,159 @@
+// Cross-cutting optimizer properties on randomized models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "opt/branch_and_bound.hpp"
+#include "opt/lp.hpp"
+#include "opt/presolve.hpp"
+#include "opt/simplex.hpp"
+
+namespace vnfr::opt {
+namespace {
+
+/// Random bounded LP with a mix of relations; always feasible at x = 0 for
+/// the <= and the relaxed >= rows it generates.
+LinearProgram random_mixed_lp(common::Rng& rng, std::size_t n, std::size_t m) {
+    LinearProgram lp;
+    for (std::size_t j = 0; j < n; ++j) {
+        lp.add_variable(rng.uniform(-1.0, 5.0), rng.uniform(1.0, 4.0));
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (rng.bernoulli(0.5)) terms.emplace_back(j, rng.uniform(0.2, 2.0));
+        }
+        if (terms.empty()) terms.emplace_back(0, 1.0);
+        lp.add_row(std::move(terms), Relation::kLe,
+                   rng.uniform(1.0, 2.0 * static_cast<double>(n)));
+    }
+    return lp;
+}
+
+// Property: replacing every equality row with a (<=, >=) pair leaves the
+// optimum unchanged — exercises the artificial-variable machinery against
+// the slack/surplus machinery.
+class EqualitySplitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqualitySplitTest, EqualityEqualsInequalityPair) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40009 + 7);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 8));
+
+    LinearProgram with_eq = random_mixed_lp(rng, n, 2);
+    LinearProgram with_pair = with_eq;
+
+    // One extra equality row through the box interior so it is feasible:
+    // sum of a few variables equals half its maximal value.
+    std::vector<std::pair<std::size_t, double>> terms;
+    double max_lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (j % 2 == 0) {
+            const double coeff = rng.uniform(0.5, 1.5);
+            terms.emplace_back(j, coeff);
+            max_lhs += coeff * with_eq.upper_bound(j);
+        }
+    }
+    const double rhs = max_lhs / 2.0;
+    with_eq.add_row(terms, Relation::kEq, rhs);
+    with_pair.add_row(terms, Relation::kLe, rhs);
+    with_pair.add_row(terms, Relation::kGe, rhs);
+
+    const LpSolution a = solve_lp(with_eq);
+    const LpSolution b = solve_lp(with_pair);
+    // The equality may conflict with the random <= rows; both encodings
+    // must then agree on infeasibility.
+    ASSERT_EQ(a.status, b.status);
+    if (a.status != SolveStatus::kOptimal) return;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + std::fabs(a.objective)));
+    EXPECT_LE(with_eq.max_violation(a.x), 1e-6);
+    EXPECT_LE(with_pair.max_violation(b.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqualitySplitTest, ::testing::Range(0, 15));
+
+// Property: presolve composed with branch-and-bound preserves ILP optima.
+class PresolveBnbTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveBnbTest, IlpOptimumSurvivesPresolve) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 50021 + 11);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4, 9));
+
+    LinearProgram lp;
+    std::vector<std::size_t> binaries;
+    for (std::size_t j = 0; j < n; ++j) {
+        binaries.push_back(lp.add_variable(rng.uniform(1.0, 8.0), 1.0));
+    }
+    // Fix a couple of binaries up front (what a B&B parent node does).
+    for (std::size_t j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.3)) {
+            const double v = rng.bernoulli(0.5) ? 1.0 : 0.0;
+            lp.set_bounds(j, v, v);
+        }
+    }
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t j = 0; j < n; ++j) row.emplace_back(j, rng.uniform(0.5, 3.0));
+    lp.add_row(std::move(row), Relation::kLe, rng.uniform(2.0, 2.0 * static_cast<double>(n)));
+
+    const IlpSolution direct = solve_ilp(lp, binaries);
+
+    const PresolveResult pre = presolve(lp);
+    if (pre.infeasible) {
+        EXPECT_FALSE(direct.has_incumbent);
+        return;
+    }
+    // Binaries that survived presolve, re-indexed.
+    std::vector<std::size_t> reduced_binaries;
+    for (std::size_t r = 0; r < pre.kept.size(); ++r) reduced_binaries.push_back(r);
+    const IlpSolution reduced = solve_ilp(pre.reduced, reduced_binaries);
+
+    ASSERT_EQ(direct.has_incumbent, reduced.has_incumbent);
+    if (!direct.has_incumbent) return;
+    EXPECT_NEAR(direct.objective, reduced.objective + pre.objective_offset, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveBnbTest, ::testing::Range(0, 15));
+
+// Property: duplicating a row never changes the optimum (degenerate-basis
+// stress for the simplex).
+class DuplicateRowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DuplicateRowTest, RedundancyIsHarmless) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 60013 + 17);
+    const LinearProgram base = random_mixed_lp(rng, 6, 4);
+    LinearProgram doubled = base;
+    for (std::size_t k = 0; k < base.row_count(); ++k) {
+        const Row& r = base.row(k);
+        doubled.add_row(r.terms, r.relation, r.rhs);
+    }
+    const LpSolution a = solve_lp(base);
+    const LpSolution b = solve_lp(doubled);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + std::fabs(a.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DuplicateRowTest, ::testing::Range(0, 15));
+
+// Property: scaling the objective scales the optimum (sanity against
+// tolerance-dependent behaviour).
+TEST(SimplexProperties, ObjectiveScalingIsLinear) {
+    common::Rng rng(99);
+    const LinearProgram base = random_mixed_lp(rng, 8, 5);
+    LinearProgram scaled;
+    for (std::size_t j = 0; j < base.variable_count(); ++j) {
+        scaled.add_variable(base.objective_coefficient(j) * 7.0, base.upper_bound(j));
+    }
+    for (std::size_t k = 0; k < base.row_count(); ++k) {
+        const Row& r = base.row(k);
+        scaled.add_row(r.terms, r.relation, r.rhs);
+    }
+    const LpSolution a = solve_lp(base);
+    const LpSolution b = solve_lp(scaled);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(b.objective, 7.0 * a.objective, 1e-6 * (1.0 + std::fabs(b.objective)));
+}
+
+}  // namespace
+}  // namespace vnfr::opt

@@ -1,0 +1,359 @@
+#include "opt/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "opt/lp.hpp"
+
+namespace vnfr::opt {
+namespace {
+
+TEST(Simplex, EmptyProgram) {
+    LinearProgram lp;
+    const LpSolution sol = solve_lp(lp);
+    EXPECT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, ClassicTextbookProblem) {
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum 36 at (2,6).
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(3.0);
+    const std::size_t y = lp.add_variable(5.0);
+    lp.add_row({{x, 1.0}}, Relation::kLe, 4.0);
+    lp.add_row({{y, 2.0}}, Relation::kLe, 12.0);
+    lp.add_row({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+    EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+    EXPECT_NEAR(sol.x[y], 6.0, 1e-8);
+}
+
+TEST(Simplex, ClassicTextbookDuals) {
+    // Known dual optimum for the problem above: (0, 1.5, 1).
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(3.0);
+    const std::size_t y = lp.add_variable(5.0);
+    lp.add_row({{x, 1.0}}, Relation::kLe, 4.0);
+    lp.add_row({{y, 2.0}}, Relation::kLe, 12.0);
+    lp.add_row({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    ASSERT_EQ(sol.duals.size(), 3u);
+    EXPECT_NEAR(sol.duals[0], 0.0, 1e-8);
+    EXPECT_NEAR(sol.duals[1], 1.5, 1e-8);
+    EXPECT_NEAR(sol.duals[2], 1.0, 1e-8);
+}
+
+TEST(Simplex, UpperBoundsBindWithoutRows) {
+    // max x + y with x <= 2 (bound), x + y <= 3: optimum 3.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(2.0, 2.0);
+    const std::size_t y = lp.add_variable(1.0, 2.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 3.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 5.0, 1e-8);  // x=2 (coeff 2) + y=1
+    EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+    EXPECT_NEAR(sol.x[y], 1.0, 1e-8);
+}
+
+TEST(Simplex, LowerBoundsShiftCorrectly) {
+    // max -x s.t. x >= 2 via bounds: optimum -2 at x = 2.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(-1.0, 10.0);
+    lp.set_bounds(x, 2.0, 10.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, -2.0, 1e-8);
+    EXPECT_NEAR(sol.x[x], 2.0, 1e-8);
+}
+
+TEST(Simplex, FixedVariable) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(5.0, 1.0);
+    const std::size_t y = lp.add_variable(1.0, 1.0);
+    lp.set_bounds(x, 1.0, 1.0);  // fixed to 1
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 1.5);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.x[x], 1.0, 1e-8);
+    EXPECT_NEAR(sol.x[y], 0.5, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+    // max x + 2y s.t. x + y = 4, y <= 3. Optimum: y=3, x=1 -> 7.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0);
+    const std::size_t y = lp.add_variable(2.0, 3.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kEq, 4.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 7.0, 1e-8);
+    EXPECT_NEAR(sol.x[x], 1.0, 1e-8);
+    EXPECT_NEAR(sol.x[y], 3.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+    // min x + y (as max of negative) s.t. x + 2y >= 4, 3x + y >= 6.
+    // Optimum of min: x = 1.6, y = 1.2, value 2.8.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(-1.0);
+    const std::size_t y = lp.add_variable(-1.0);
+    lp.add_row({{x, 1.0}, {y, 2.0}}, Relation::kGe, 4.0);
+    lp.add_row({{x, 3.0}, {y, 1.0}}, Relation::kGe, 6.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, -2.8, 1e-8);
+    EXPECT_NEAR(sol.x[x], 1.6, 1e-8);
+    EXPECT_NEAR(sol.x[y], 1.2, 1e-8);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+    // x - y <= -1 (i.e. y >= x + 1), max x with y <= 3: x = 2.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0);
+    const std::size_t y = lp.add_variable(0.0, 3.0);
+    lp.add_row({{x, 1.0}, {y, -1.0}}, Relation::kLe, -1.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0);
+    lp.add_row({{x, 1.0}}, Relation::kLe, 1.0);
+    lp.add_row({{x, 1.0}}, Relation::kGe, 2.0);
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEquality) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 1.0);
+    const std::size_t y = lp.add_variable(1.0, 1.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0);
+    const std::size_t y = lp.add_variable(0.0);
+    lp.add_row({{x, 1.0}, {y, -1.0}}, Relation::kLe, 1.0);
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+    // Duplicate equality rows leave a zero-level artificial; the solve must
+    // still finish and be correct.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 10.0);
+    const std::size_t y = lp.add_variable(1.0, 10.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+    lp.add_row({{x, 2.0}, {y, 2.0}}, Relation::kEq, 10.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+    // Klee-Minty-flavoured degeneracy trigger: many redundant constraints
+    // through the same vertex.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0);
+    const std::size_t y = lp.add_variable(1.0);
+    lp.add_row({{x, 1.0}}, Relation::kLe, 1.0);
+    lp.add_row({{y, 1.0}}, Relation::kLe, 1.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 2.0);
+    lp.add_row({{x, 2.0}, {y, 1.0}}, Relation::kLe, 3.0);
+    lp.add_row({{x, 1.0}, {y, 2.0}}, Relation::kLe, 3.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, ZeroObjective) {
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(0.0, 1.0);
+    lp.add_row({{x, 1.0}}, Relation::kLe, 1.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, NoConstraintsBoundFlipOnly) {
+    // max 2x - y with 0 <= x <= 5, 0 <= y <= 3 and no rows: pure bound
+    // flips, empty basis.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(2.0, 5.0);
+    const std::size_t y = lp.add_variable(-1.0, 3.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 10.0, 1e-9);
+    EXPECT_NEAR(sol.x[x], 5.0, 1e-9);
+    EXPECT_NEAR(sol.x[y], 0.0, 1e-9);
+}
+
+TEST(Simplex, NoConstraintsUnboundedAbove) {
+    LinearProgram lp;
+    lp.add_variable(1.0);  // ub = infinity, no rows
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, ManyUpperBoundsAllBinding) {
+    // max sum x_j, x_j <= 1 (bounds), sum x_j <= 10 with 6 variables: the
+    // row is slack, all six sit at their upper bounds.
+    LinearProgram lp;
+    std::vector<std::pair<std::size_t, double>> row;
+    for (int j = 0; j < 6; ++j) row.emplace_back(lp.add_variable(1.0, 1.0), 1.0);
+    lp.add_row(std::move(row), Relation::kLe, 10.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 6.0, 1e-9);
+    for (const double v : sol.x) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Simplex, BasicVariableLeavesAtUpperBound) {
+    // max 3x + y with x + y <= 4, x <= 3, y <= 3. Optimum x=3, y=1 -> 10;
+    // reaching it forces a leave-at-upper-bound pivot.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(3.0, 3.0);
+    const std::size_t y = lp.add_variable(1.0, 3.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.objective, 10.0, 1e-9);
+    EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+    EXPECT_NEAR(sol.x[y], 1.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariableInsideEquality) {
+    // x fixed at 2 through bounds, x + y = 5 -> y = 3.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(0.0, 4.0);
+    const std::size_t y = lp.add_variable(1.0, 10.0);
+    lp.set_bounds(x, 2.0, 2.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(sol.x[x], 2.0, 1e-9);
+    EXPECT_NEAR(sol.x[y], 3.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleBecauseOfUpperBounds) {
+    // x + y >= 5 but both capped at 2.
+    LinearProgram lp;
+    const std::size_t x = lp.add_variable(1.0, 2.0);
+    const std::size_t y = lp.add_variable(1.0, 2.0);
+    lp.add_row({{x, 1.0}, {y, 1.0}}, Relation::kGe, 5.0);
+    EXPECT_EQ(solve_lp(lp).status, SolveStatus::kInfeasible);
+}
+
+// Property: bounded-variable handling agrees with modelling the same upper
+// bounds as explicit rows, across random instances.
+class SimplexBoundsEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexBoundsEquivalence, NativeBoundsMatchExplicitRows) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2111 + 17);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 5));
+
+    LinearProgram with_bounds;
+    LinearProgram with_rows;
+    std::vector<double> ubs(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double c = rng.uniform(-2.0, 5.0);
+        ubs[j] = rng.uniform(0.5, 4.0);
+        with_bounds.add_variable(c, ubs[j]);
+        with_rows.add_variable(c);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        with_rows.add_row({{j, 1.0}}, Relation::kLe, ubs[j]);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (rng.bernoulli(0.7)) terms.emplace_back(j, rng.uniform(0.2, 3.0));
+        }
+        if (terms.empty()) terms.emplace_back(0, 1.0);
+        const double rhs = rng.uniform(1.0, 8.0);
+        with_bounds.add_row(terms, Relation::kLe, rhs);
+        with_rows.add_row(terms, Relation::kLe, rhs);
+    }
+    const LpSolution a = solve_lp(with_bounds);
+    const LpSolution b = solve_lp(with_rows);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + std::fabs(b.objective)));
+    EXPECT_LE(with_bounds.max_violation(a.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexBoundsEquivalence, ::testing::Range(0, 20));
+
+// Property: on random packing LPs (max c'x, Ax <= b, x >= 0), the solution
+// must be feasible and come with a dual certificate of optimality:
+// y >= 0, A'y >= c, and b'y == c'x (strong duality).
+class SimplexRandomPacking : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomPacking, OptimalityCertificate) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 12));
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(2, 10));
+
+    LinearProgram lp;
+    std::vector<double> c(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        c[j] = rng.uniform(0.1, 5.0);
+        lp.add_variable(c[j]);
+    }
+    std::vector<std::vector<double>> a(m, std::vector<double>(n, 0.0));
+    std::vector<double> b(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (rng.bernoulli(0.6)) {
+                a[i][j] = rng.uniform(0.1, 3.0);
+                terms.emplace_back(j, a[i][j]);
+            }
+        }
+        b[i] = rng.uniform(1.0, 10.0);
+        if (terms.empty()) terms.emplace_back(0, a[i][0] = 1.0);
+        lp.add_row(std::move(terms), Relation::kLe, b[i]);
+    }
+    // Ensure boundedness: cap every variable by a generous box row.
+    {
+        std::vector<std::pair<std::size_t, double>> box;
+        std::vector<double> ones(n, 1.0);
+        for (std::size_t j = 0; j < n; ++j) box.emplace_back(j, 1.0);
+        a.push_back(ones);
+        b.push_back(100.0);
+        lp.add_row(std::move(box), Relation::kLe, 100.0);
+    }
+
+    const LpSolution sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_LE(lp.max_violation(sol.x), 1e-6);
+
+    ASSERT_EQ(sol.duals.size(), a.size());
+    double by = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_GE(sol.duals[i], -1e-7) << "dual sign";
+        by += sol.duals[i] * b[i];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        double aty = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) aty += sol.duals[i] * a[i][j];
+        EXPECT_GE(aty, c[j] - 1e-6) << "dual feasibility, column " << j;
+    }
+    EXPECT_NEAR(by, sol.objective, 1e-6 * (1.0 + std::fabs(by))) << "strong duality";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomPacking, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace vnfr::opt

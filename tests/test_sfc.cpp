@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "helpers.hpp"
+#include "vnf/reliability.hpp"
+#include "sfc/chain_reliability.hpp"
+#include "sfc/chain_scheduler.hpp"
+#include "sfc/chain_workload.hpp"
+
+namespace vnfr::sfc {
+namespace {
+
+using vnfr::testing::random_instance;
+
+// ---- chain reliability math ----
+
+TEST(ChainReliability, SingleFunctionMatchesEquation2) {
+    const std::vector<double> rels{0.9};
+    const std::vector<int> replicas{3};
+    EXPECT_NEAR(chain_onsite_availability(0.99, rels, replicas),
+                vnf::onsite_availability(0.99, 0.9, 3), 1e-12);
+}
+
+TEST(ChainReliability, MultiFunctionProduct) {
+    const std::vector<double> rels{0.9, 0.95};
+    const std::vector<int> replicas{2, 1};
+    const double expected = 0.99 * (1.0 - 0.01) * 0.95;
+    EXPECT_NEAR(chain_onsite_availability(0.99, rels, replicas), expected, 1e-12);
+}
+
+TEST(ChainReliability, ValidatesInput) {
+    const std::vector<double> rels{0.9, 0.95};
+    const std::vector<int> wrong_size{1};
+    EXPECT_THROW(chain_onsite_availability(0.99, rels, wrong_size), std::invalid_argument);
+    const std::vector<int> zero{1, 0};
+    EXPECT_THROW(chain_onsite_availability(0.99, rels, zero), std::invalid_argument);
+}
+
+TEST(MinChainReplicas, SingleFunctionMatchesEquation3) {
+    // Degenerate chain: must agree with the paper's closed-form N_ij.
+    for (const double rc : {0.95, 0.99, 0.999}) {
+        for (const double rf : {0.5, 0.9, 0.99}) {
+            for (const double req : {0.9, 0.94, 0.98}) {
+                const std::vector<double> rels{rf};
+                const std::vector<double> computes{2.0};
+                const auto chain = min_chain_replicas(rc, rels, computes, req);
+                const auto single = vnf::min_onsite_replicas(rc, rf, req);
+                ASSERT_EQ(chain.has_value(), single.has_value())
+                    << rc << ' ' << rf << ' ' << req;
+                if (chain) EXPECT_EQ((*chain)[0], *single);
+            }
+        }
+    }
+}
+
+TEST(MinChainReplicas, InfeasibleWhenCloudletTooWeak) {
+    const std::vector<double> rels{0.9, 0.9};
+    const std::vector<double> computes{1.0, 1.0};
+    EXPECT_FALSE(min_chain_replicas(0.95, rels, computes, 0.95).has_value());
+    EXPECT_FALSE(min_chain_replicas(0.95, rels, computes, 0.96).has_value());
+}
+
+TEST(MinChainReplicas, ResultMeetsRequirementAndIsLocallyMinimal) {
+    common::Rng rng(1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+        std::vector<double> rels;
+        std::vector<double> computes;
+        for (std::size_t i = 0; i < k; ++i) {
+            rels.push_back(rng.uniform(0.6, 0.999));
+            computes.push_back(static_cast<double>(rng.uniform_int(1, 3)));
+        }
+        const double rc = rng.uniform(0.95, 0.9999);
+        const double req = rng.uniform(0.85, rc * 0.999);
+        const auto replicas = min_chain_replicas(rc, rels, computes, req);
+        ASSERT_TRUE(replicas.has_value());
+        EXPECT_GE(chain_onsite_availability(rc, rels, *replicas), req);
+        // Local minimality: removing any replica breaks the requirement.
+        auto probe = *replicas;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (probe[i] <= 1) continue;
+            --probe[i];
+            EXPECT_LT(chain_onsite_availability(rc, rels, probe), req)
+                << "replica " << i << " was removable";
+            ++probe[i];
+        }
+    }
+}
+
+// Property sweep: greedy cost vs exhaustive optimum on short chains.
+class ChainGreedyQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainGreedyQualityTest, GreedyNearExhaustive) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 61 + 19);
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(2, 3));
+    std::vector<double> rels;
+    std::vector<double> computes;
+    for (std::size_t i = 0; i < k; ++i) {
+        rels.push_back(rng.uniform(0.7, 0.99));
+        computes.push_back(static_cast<double>(rng.uniform_int(1, 3)));
+    }
+    const double rc = rng.uniform(0.97, 0.9999);
+    const double req = rng.uniform(0.9, rc * 0.995);
+    const auto greedy = min_chain_replicas(rc, rels, computes, req);
+    const auto exact = exhaustive_chain_replicas(rc, rels, computes, req, 6);
+    ASSERT_EQ(greedy.has_value(), exact.has_value());
+    if (!greedy) return;
+    const double greedy_cost = chain_compute(computes, *greedy);
+    const double exact_cost = chain_compute(computes, *exact);
+    EXPECT_GE(greedy_cost, exact_cost - 1e-12);  // exhaustive is a true lower bound
+    // Greedy with trim stays within one replica's cost of optimal.
+    EXPECT_LE(greedy_cost, exact_cost + 3.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainGreedyQualityTest, ::testing::Range(0, 25));
+
+TEST(ExhaustiveChainReplicas, GuardsSearchSpace) {
+    const std::vector<double> rels(6, 0.9);
+    const std::vector<double> computes(6, 1.0);
+    EXPECT_THROW(exhaustive_chain_replicas(0.99, rels, computes, 0.9),
+                 std::invalid_argument);
+}
+
+// ---- chain workload ----
+
+TEST(ChainWorkload, GeneratesValidChains) {
+    common::Rng rng(5);
+    const auto inst = random_instance(rng, 5, 3, 10);
+    ChainWorkloadConfig cfg;
+    cfg.horizon = 10;
+    cfg.count = 120;
+    cfg.duration_max = 6;
+    const auto chains = generate_chains(cfg, inst.catalog, rng);
+    ASSERT_EQ(chains.size(), 120u);
+    TimeSlot prev = 0;
+    for (const ChainRequest& r : chains) {
+        EXPECT_TRUE(r.fits_horizon(10));
+        EXPECT_GE(r.functions.size(), cfg.chain_length_min);
+        EXPECT_LE(r.functions.size(), cfg.chain_length_max);
+        EXPECT_GT(r.payment, 0.0);
+        EXPECT_GE(r.arrival, prev);
+        prev = r.arrival;
+        for (const VnfTypeId f : r.functions) {
+            EXPECT_LT(f.index(), inst.catalog.size());
+        }
+    }
+}
+
+TEST(ChainWorkload, DistinctFunctionsWhenCatalogAllows) {
+    common::Rng rng(6);
+    const auto inst = random_instance(rng, 5, 3, 10);  // 10-type catalog
+    ChainWorkloadConfig cfg;
+    cfg.count = 60;
+    const auto chains = generate_chains(cfg, inst.catalog, rng);
+    for (const ChainRequest& r : chains) {
+        std::set<std::int64_t> unique;
+        for (const VnfTypeId f : r.functions) unique.insert(f.value);
+        EXPECT_EQ(unique.size(), r.functions.size());
+    }
+}
+
+TEST(ChainWorkload, Validation) {
+    common::Rng rng(7);
+    const auto inst = random_instance(rng, 5, 3, 10);
+    ChainWorkloadConfig cfg;
+    cfg.chain_length_min = 0;
+    EXPECT_THROW(generate_chains(cfg, inst.catalog, rng), std::invalid_argument);
+    cfg = {};
+    cfg.duration_max = cfg.horizon + 1;
+    EXPECT_THROW(generate_chains(cfg, inst.catalog, rng), std::invalid_argument);
+}
+
+// ---- chain schedulers ----
+
+struct ChainFixture {
+    core::Instance instance;
+    std::vector<ChainRequest> chains;
+};
+
+ChainFixture make_fixture(std::uint64_t seed, std::size_t count, double cap_lo = 20,
+                          double cap_hi = 40) {
+    common::Rng rng(seed);
+    ChainFixture f{random_instance(rng, 5, 4, 12, cap_lo, cap_hi), {}};
+    ChainWorkloadConfig cfg;
+    cfg.horizon = 12;
+    cfg.count = count;
+    cfg.duration_max = 6;
+    f.chains = generate_chains(cfg, f.instance.catalog, rng);
+    return f;
+}
+
+TEST(ChainSchedulers, AdmittedChainsMeetRequirement) {
+    const ChainFixture f = make_fixture(11, 80);
+    ChainPrimalDual pd(f.instance);
+    ChainGreedy greedy(f.instance);
+    for (ChainScheduler* s : std::initializer_list<ChainScheduler*>{&pd, &greedy}) {
+        const ChainScheduleResult result = run_chains(f.instance, f.chains, *s);
+        for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+            const ChainDecision& d = result.decisions[i];
+            if (!d.admitted) continue;
+            std::vector<double> rels;
+            for (const VnfTypeId fn : f.chains[i].functions) {
+                rels.push_back(f.instance.catalog.reliability(fn));
+            }
+            EXPECT_GE(
+                chain_onsite_availability(
+                    f.instance.network.cloudlet(d.placement.cloudlet).reliability, rels,
+                    d.placement.replicas),
+                f.chains[i].requirement - 1e-12)
+                << s->name();
+        }
+    }
+}
+
+TEST(ChainSchedulers, NeverViolateCapacity) {
+    const ChainFixture f = make_fixture(13, 150, 10, 20);
+    ChainPrimalDual pd(f.instance);
+    ChainGreedy greedy(f.instance);
+    EXPECT_LE(run_chains(f.instance, f.chains, pd).max_load_factor, 1.0 + 1e-9);
+    EXPECT_LE(run_chains(f.instance, f.chains, greedy).max_load_factor, 1.0 + 1e-9);
+}
+
+TEST(ChainSchedulers, RevenueMatchesAdmissions) {
+    const ChainFixture f = make_fixture(17, 60);
+    ChainPrimalDual pd(f.instance);
+    const ChainScheduleResult result = run_chains(f.instance, f.chains, pd);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+        if (result.decisions[i].admitted) expected += f.chains[i].payment;
+    }
+    EXPECT_NEAR(result.revenue, expected, 1e-9);
+}
+
+TEST(ChainSchedulers, GreedyPicksMostReliableCloudlet) {
+    const ChainFixture f = make_fixture(19, 1);
+    ChainGreedy greedy(f.instance);
+    const ChainScheduleResult result = run_chains(f.instance, f.chains, greedy);
+    if (result.admitted == 1) {
+        double best_rel = 0.0;
+        for (const edge::Cloudlet& c : f.instance.network.cloudlets()) {
+            best_rel = std::max(best_rel, c.reliability);
+        }
+        EXPECT_DOUBLE_EQ(
+            f.instance.network.cloudlet(result.decisions[0].placement.cloudlet).reliability,
+            best_rel);
+    }
+}
+
+TEST(ChainSchedulers, PrimalDualRejectsOncePriced) {
+    // Saturate a tiny system; the dual prices must eventually reject.
+    const ChainFixture f = make_fixture(23, 300, 8, 12);
+    ChainPrimalDual pd(f.instance);
+    const ChainScheduleResult result = run_chains(f.instance, f.chains, pd);
+    EXPECT_LT(result.admitted, f.chains.size());
+    EXPECT_GT(result.admitted, 0u);
+}
+
+TEST(ChainSchedulers, DeterministicAcrossRuns) {
+    const ChainFixture f = make_fixture(29, 80);
+    ChainPrimalDual a(f.instance);
+    ChainPrimalDual b(f.instance);
+    const ChainScheduleResult ra = run_chains(f.instance, f.chains, a);
+    const ChainScheduleResult rb = run_chains(f.instance, f.chains, b);
+    EXPECT_DOUBLE_EQ(ra.revenue, rb.revenue);
+    EXPECT_EQ(ra.admitted, rb.admitted);
+}
+
+TEST(ChainSchedulers, ConfigValidation) {
+    const ChainFixture f = make_fixture(31, 1);
+    EXPECT_THROW(ChainPrimalDual(f.instance, {.dual_capacity_scale = -2.0}),
+                 std::invalid_argument);
+    EXPECT_EQ(ChainPrimalDual(f.instance).name(), "chain-primal-dual");
+    EXPECT_EQ(ChainGreedy(f.instance).name(), "chain-greedy");
+}
+
+}  // namespace
+}  // namespace vnfr::sfc

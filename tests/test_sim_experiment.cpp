@@ -1,0 +1,95 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace vnfr::sim {
+namespace {
+
+core::Instance factory(common::Rng& rng) {
+    return vnfr::testing::random_instance(rng, 20, 3, 8, 10, 20);
+}
+
+TEST(Experiment, AlgorithmNamesAreStable) {
+    EXPECT_EQ(algorithm_name(Algorithm::kOnsitePrimalDual), "onsite-primal-dual");
+    EXPECT_EQ(algorithm_name(Algorithm::kOnsitePrimalDualPure), "onsite-primal-dual-pure");
+    EXPECT_EQ(algorithm_name(Algorithm::kOnsiteGreedy), "onsite-greedy");
+    EXPECT_EQ(algorithm_name(Algorithm::kOffsitePrimalDual), "offsite-primal-dual");
+    EXPECT_EQ(algorithm_name(Algorithm::kOffsiteGreedy), "offsite-greedy");
+}
+
+TEST(Experiment, MakeSchedulerMatchesName) {
+    common::Rng rng(1);
+    const core::Instance inst = factory(rng);
+    for (const Algorithm a :
+         {Algorithm::kOnsitePrimalDual, Algorithm::kOnsitePrimalDualPure,
+          Algorithm::kOnsiteGreedy, Algorithm::kOffsitePrimalDual,
+          Algorithm::kOffsiteGreedy}) {
+        const auto scheduler = make_scheduler(a, inst);
+        EXPECT_EQ(scheduler->name(), algorithm_name(a));
+    }
+}
+
+TEST(Experiment, AggregatesConfiguredSeeds) {
+    ExperimentConfig cfg;
+    cfg.algorithms = {Algorithm::kOnsitePrimalDual, Algorithm::kOnsiteGreedy};
+    cfg.seeds = 4;
+    const ExperimentOutcome outcome = run_experiment(factory, cfg);
+    ASSERT_EQ(outcome.per_algorithm.size(), 2u);
+    for (const AlgorithmOutcome& a : outcome.per_algorithm) {
+        EXPECT_EQ(a.revenue.count(), 4u);
+        EXPECT_EQ(a.acceptance.count(), 4u);
+        EXPECT_GT(a.revenue.mean(), 0.0);
+        EXPECT_GT(a.acceptance.mean(), 0.0);
+        EXPECT_LE(a.acceptance.max(), 1.0);
+    }
+}
+
+TEST(Experiment, DeterministicForSameBaseSeed) {
+    ExperimentConfig cfg;
+    cfg.algorithms = {Algorithm::kOnsitePrimalDual};
+    cfg.seeds = 3;
+    cfg.base_seed = 1234;
+    const ExperimentOutcome a = run_experiment(factory, cfg);
+    const ExperimentOutcome b = run_experiment(factory, cfg);
+    EXPECT_DOUBLE_EQ(a.per_algorithm[0].revenue.mean(), b.per_algorithm[0].revenue.mean());
+    EXPECT_DOUBLE_EQ(a.per_algorithm[0].revenue.variance(),
+                     b.per_algorithm[0].revenue.variance());
+}
+
+TEST(Experiment, DifferentBaseSeedsDiffer) {
+    ExperimentConfig cfg;
+    cfg.algorithms = {Algorithm::kOnsitePrimalDual};
+    cfg.seeds = 3;
+    cfg.base_seed = 1;
+    const ExperimentOutcome a = run_experiment(factory, cfg);
+    cfg.base_seed = 2;
+    const ExperimentOutcome b = run_experiment(factory, cfg);
+    EXPECT_NE(a.per_algorithm[0].revenue.mean(), b.per_algorithm[0].revenue.mean());
+}
+
+TEST(Experiment, OfflineBoundDominatesOnlineRevenue) {
+    ExperimentConfig cfg;
+    cfg.algorithms = {Algorithm::kOnsitePrimalDual, Algorithm::kOnsiteGreedy};
+    cfg.seeds = 2;
+    cfg.compute_offline = true;
+    cfg.offline_scheme = core::Scheme::kOnsite;
+    cfg.offline.run_ilp = false;  // LP bound only: fast and still an upper bound
+    const ExperimentOutcome outcome = run_experiment(factory, cfg);
+    ASSERT_EQ(outcome.offline_bound.count(), 2u);
+    for (const AlgorithmOutcome& a : outcome.per_algorithm) {
+        EXPECT_LE(a.revenue.mean(), outcome.offline_bound.mean() + 1e-6);
+    }
+}
+
+TEST(Experiment, RejectsEmptyConfig) {
+    ExperimentConfig cfg;
+    EXPECT_THROW(run_experiment(factory, cfg), std::invalid_argument);
+    cfg.algorithms = {Algorithm::kOnsiteGreedy};
+    cfg.seeds = 0;
+    EXPECT_THROW(run_experiment(factory, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfr::sim

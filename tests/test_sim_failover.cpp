@@ -1,0 +1,154 @@
+#include "sim/failover_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "helpers.hpp"
+#include "sim/availability_process.hpp"
+
+namespace vnfr::sim {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::random_instance;
+using vnfr::testing::small_instance;
+
+TEST(AvailabilityProcess, RejectsBadMttr) {
+    const auto inst = small_instance({0.99}, 10.0, 5, {});
+    EXPECT_THROW(AvailabilityProcess(inst, 0.5, 2.0, common::Rng(1)),
+                 std::invalid_argument);
+    EXPECT_THROW(AvailabilityProcess(inst, 2.0, 0.0, common::Rng(1)),
+                 std::invalid_argument);
+}
+
+TEST(AvailabilityProcess, StationaryUpFractionMatchesReliability) {
+    // Long-run fraction of up-slots of the Markov chain must converge to
+    // the configured reliability, independent of the repair time.
+    const auto inst = small_instance({0.9}, 10.0, 5, {});
+    for (const double mttr : {1.0, 3.0, 8.0}) {
+        AvailabilityProcess process(inst, mttr, 2.0, common::Rng(7));
+        std::size_t up = 0;
+        const std::size_t slots = 200000;
+        for (std::size_t t = 0; t < slots; ++t) {
+            process.step();
+            if (process.cloudlet_up(CloudletId{0})) ++up;
+        }
+        EXPECT_NEAR(static_cast<double>(up) / static_cast<double>(slots), 0.9, 0.01)
+            << "mttr=" << mttr;
+    }
+}
+
+TEST(AvailabilityProcess, LongerMttrMeansLongerOutages) {
+    const auto inst = small_instance({0.9}, 10.0, 5, {});
+    const auto mean_outage_length = [&](double mttr) {
+        AvailabilityProcess process(inst, mttr, 2.0, common::Rng(11));
+        std::size_t outages = 0;
+        std::size_t down_slots = 0;
+        bool was_up = true;
+        for (std::size_t t = 0; t < 200000; ++t) {
+            process.step();
+            const bool up = process.cloudlet_up(CloudletId{0});
+            if (!up) {
+                ++down_slots;
+                if (was_up) ++outages;
+            }
+            was_up = up;
+        }
+        return outages == 0 ? 0.0
+                            : static_cast<double>(down_slots) / static_cast<double>(outages);
+    };
+    EXPECT_NEAR(mean_outage_length(2.0), 2.0, 0.3);
+    EXPECT_NEAR(mean_outage_length(6.0), 6.0, 0.9);
+}
+
+TEST(AvailabilityProcess, ServingReplicaPrefersFirstSite) {
+    const auto inst = small_instance({0.999, 0.999}, 10.0, 5,
+                                     {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    AvailabilityProcess process(inst, 4.0, 2.0, common::Rng(3));
+    const core::Placement p{RequestId{0},
+                            {core::Site{CloudletId{0}, 2}, core::Site{CloudletId{1}, 1}}};
+    const std::size_t handle = process.track(inst.requests[0], p);
+    const auto serving = process.serving_replica(handle);
+    // With everything near-certainly up at steady state, site 0 serves.
+    if (serving.valid()) {
+        EXPECT_LE(serving.site, 1u);
+    }
+    EXPECT_EQ(process.site_cloudlet(handle, 0), CloudletId{0});
+    EXPECT_EQ(process.site_cloudlet(handle, 1), CloudletId{1});
+}
+
+TEST(AvailabilityProcess, TrackValidatesPlacements) {
+    const auto inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    AvailabilityProcess process(inst, 4.0, 2.0, common::Rng(3));
+    const core::Placement bad_cloudlet{RequestId{0}, {core::Site{CloudletId{9}, 1}}};
+    EXPECT_THROW(process.track(inst.requests[0], bad_cloudlet), std::invalid_argument);
+    const core::Placement bad_replicas{RequestId{0}, {core::Site{CloudletId{0}, 0}}};
+    EXPECT_THROW(process.track(inst.requests[0], bad_replicas), std::invalid_argument);
+}
+
+TEST(FailoverStudy, AccountingIsConsistent) {
+    common::Rng rng(401);
+    const core::Instance inst = random_instance(rng, 80, 4, 15, 20, 40);
+    core::OffsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+    const FailoverReport report = run_failover_study(inst, result.decisions);
+    EXPECT_EQ(report.served_slots + report.disrupted_slots, report.request_slots);
+    EXPECT_GT(report.request_slots, 0u);
+    EXPECT_GE(report.availability(), 0.0);
+    EXPECT_LE(report.availability(), 1.0);
+}
+
+TEST(FailoverStudy, DeterministicBySeed) {
+    common::Rng rng(403);
+    const core::Instance inst = random_instance(rng, 60, 3, 12);
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+    FailoverConfig cfg;
+    cfg.seed = 99;
+    const FailoverReport a = run_failover_study(inst, result.decisions, cfg);
+    const FailoverReport b = run_failover_study(inst, result.decisions, cfg);
+    EXPECT_EQ(a.served_slots, b.served_slots);
+    EXPECT_EQ(a.local_failovers, b.local_failovers);
+    EXPECT_EQ(a.remote_failovers, b.remote_failovers);
+    EXPECT_EQ(a.outages, b.outages);
+}
+
+TEST(FailoverStudy, OnsitePlacementsNeverFailOverRemotely) {
+    // Single-site placements have nowhere remote to go: all failovers are
+    // local replica switches.
+    common::Rng rng(405);
+    const core::Instance inst = random_instance(rng, 100, 4, 15, 20, 40);
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+    const FailoverReport report = run_failover_study(inst, result.decisions);
+    EXPECT_EQ(report.remote_failovers, 0u);
+}
+
+TEST(FailoverStudy, OffsiteSurvivesCloudletOutagesBetter) {
+    // Same workload under both schemes with bursty cloudlet failures: the
+    // off-site schedule must deliver at least as high availability (it is
+    // the paper's core motivation for geographic redundancy).
+    common::Rng rng(407);
+    const core::Instance inst = random_instance(rng, 120, 4, 15, 30, 50);
+    core::OnsitePrimalDual onsite(inst);
+    core::OffsitePrimalDual offsite(inst);
+    const core::ScheduleResult on_result = core::run_online(inst, onsite);
+    const core::ScheduleResult off_result = core::run_online(inst, offsite);
+    FailoverConfig cfg;
+    cfg.cloudlet_mttr_slots = 6.0;  // long cloudlet outages
+    const FailoverReport on_report = run_failover_study(inst, on_result.decisions, cfg);
+    const FailoverReport off_report = run_failover_study(inst, off_result.decisions, cfg);
+    EXPECT_GT(off_report.availability(), on_report.availability() - 0.005);
+    // And it does so by using remote failovers, which on-site cannot.
+    EXPECT_GT(off_report.remote_failovers, 0u);
+}
+
+TEST(FailoverStudy, SizeMismatchThrows) {
+    common::Rng rng(409);
+    const core::Instance inst = random_instance(rng, 10, 2, 8);
+    EXPECT_THROW(run_failover_study(inst, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfr::sim

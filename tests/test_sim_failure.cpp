@@ -1,0 +1,96 @@
+#include "sim/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "vnf/reliability.hpp"
+
+namespace vnfr::sim {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::small_instance;
+
+TEST(AnalyticAvailability, SingleSiteMatchesEquation2) {
+    const auto inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0}, {core::Site{CloudletId{0}, 3}}};
+    EXPECT_NEAR(analytic_availability(inst, inst.requests[0], p),
+                vnf::onsite_availability(0.99, 0.95, 3), 1e-12);
+}
+
+TEST(AnalyticAvailability, MultiSiteMatchesEquation10) {
+    const auto inst = small_instance({0.98, 0.96}, 10.0, 5,
+                                     {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0},
+                            {core::Site{CloudletId{0}, 1}, core::Site{CloudletId{1}, 1}}};
+    const std::vector<double> rels{0.98, 0.96};
+    EXPECT_NEAR(analytic_availability(inst, inst.requests[0], p),
+                vnf::offsite_availability(0.95, rels), 1e-12);
+}
+
+TEST(AnalyticAvailability, MixedReplicaSites) {
+    // 2 replicas at site A + 1 at site B: generalizes both schemes.
+    const auto inst = small_instance({0.98, 0.96}, 10.0, 5,
+                                     {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0},
+                            {core::Site{CloudletId{0}, 2}, core::Site{CloudletId{1}, 1}}};
+    const double site_a = 0.98 * (1.0 - 0.05 * 0.05);
+    const double site_b = 0.96 * 0.95;
+    EXPECT_NEAR(analytic_availability(inst, inst.requests[0], p),
+                1.0 - (1.0 - site_a) * (1.0 - site_b), 1e-12);
+}
+
+TEST(AnalyticAvailability, EmptyPlacementIsZero) {
+    const auto inst = small_instance({0.98}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0}, {}};
+    EXPECT_DOUBLE_EQ(analytic_availability(inst, inst.requests[0], p), 0.0);
+}
+
+TEST(AnalyticAvailability, RejectsNonPositiveReplicas) {
+    const auto inst = small_instance({0.98}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0}, {core::Site{CloudletId{0}, 0}}};
+    EXPECT_THROW(analytic_availability(inst, inst.requests[0], p), std::invalid_argument);
+}
+
+TEST(MonteCarlo, RejectsZeroTrials) {
+    const auto inst = small_instance({0.98}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0}, {core::Site{CloudletId{0}, 1}}};
+    common::Rng rng(1);
+    EXPECT_THROW(monte_carlo_availability(inst, inst.requests[0], p, 0, rng),
+                 std::invalid_argument);
+}
+
+class MonteCarloConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonteCarloConvergence, MatchesAnalyticWithinTolerance) {
+    common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+    // Random placement shape per seed.
+    const auto inst = small_instance({0.97, 0.95, 0.93}, 10.0, 5,
+                                     {make_request(0, 1, 0.9, 0, 2, 5.0)});
+    core::Placement p{RequestId{0}, {}};
+    const int sites = static_cast<int>(rng.uniform_int(1, 3));
+    for (int s = 0; s < sites; ++s) {
+        p.sites.push_back(core::Site{CloudletId{s}, static_cast<int>(rng.uniform_int(1, 3))});
+    }
+    const double analytic = analytic_availability(inst, inst.requests[0], p);
+    const double empirical =
+        monte_carlo_availability(inst, inst.requests[0], p, 60000, rng);
+    // 60k trials: 99.9% CI half-width is about 3.3 * sqrt(p(1-p)/n) < 0.007.
+    EXPECT_NEAR(empirical, analytic, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonteCarloConvergence, ::testing::Range(0, 6));
+
+TEST(SampleServed, DeterministicGivenSeed) {
+    const auto inst = small_instance({0.5}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    const core::Placement p{RequestId{0}, {core::Site{CloudletId{0}, 1}}};
+    common::Rng a(99);
+    common::Rng b(99);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(sample_served(inst, inst.requests[0], p, a),
+                  sample_served(inst, inst.requests[0], p, b));
+    }
+}
+
+}  // namespace
+}  // namespace vnfr::sim

@@ -1,0 +1,189 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.hpp"
+#include "core/onsite_primal_dual.hpp"
+#include "helpers.hpp"
+#include "net/generators.hpp"
+#include "sim/metrics.hpp"
+
+namespace vnfr::sim {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::random_instance;
+using vnfr::testing::small_instance;
+
+TEST(Simulator, TimelineCoversHorizon) {
+    common::Rng rng(7);
+    const core::Instance inst = random_instance(rng, 30, 3, 10);
+    core::OnsitePrimalDual scheduler(inst);
+    const SimulationReport report = simulate(inst, scheduler);
+    ASSERT_EQ(report.timeline.size(), static_cast<std::size_t>(inst.horizon));
+    for (TimeSlot t = 0; t < inst.horizon; ++t) {
+        EXPECT_EQ(report.timeline[static_cast<std::size_t>(t)].slot, t);
+    }
+}
+
+TEST(Simulator, ArrivalsAccountedExactlyOnce) {
+    common::Rng rng(11);
+    const core::Instance inst = random_instance(rng, 50, 3, 12);
+    core::OnsitePrimalDual scheduler(inst);
+    const SimulationReport report = simulate(inst, scheduler);
+    std::size_t arrivals = 0;
+    for (const SlotRecord& rec : report.timeline) arrivals += rec.arrivals;
+    EXPECT_EQ(arrivals, inst.requests.size());
+}
+
+TEST(Simulator, MatchesRunOnline) {
+    // Slot-stepped simulation must produce exactly the same decisions as
+    // the plain request-ordered driver.
+    common::Rng rng(13);
+    const core::Instance inst = random_instance(rng, 60, 3, 12);
+    core::OnsitePrimalDual s1(inst);
+    core::OnsitePrimalDual s2(inst);
+    const SimulationReport sim_report = simulate(inst, s1);
+    const core::ScheduleResult direct = run_online(inst, s2);
+    EXPECT_DOUBLE_EQ(sim_report.schedule.revenue, direct.revenue);
+    EXPECT_EQ(sim_report.schedule.admitted, direct.admitted);
+    ASSERT_EQ(sim_report.schedule.decisions.size(), direct.decisions.size());
+    for (std::size_t i = 0; i < direct.decisions.size(); ++i) {
+        EXPECT_EQ(sim_report.schedule.decisions[i].admitted, direct.decisions[i].admitted);
+    }
+}
+
+TEST(Simulator, ActiveRequestsTrackWindows) {
+    const auto inst = small_instance({0.99}, 100.0, 6,
+                                     {make_request(0, 0, 0.9, 0, 3, 5.0),
+                                      make_request(1, 0, 0.9, 2, 2, 5.0)});
+    core::OnsitePrimalDual scheduler(inst);
+    const SimulationReport report = simulate(inst, scheduler);
+    ASSERT_EQ(report.schedule.admitted, 2u);
+    EXPECT_EQ(report.timeline[0].active_requests, 1u);  // r0
+    EXPECT_EQ(report.timeline[1].active_requests, 1u);  // r0
+    EXPECT_EQ(report.timeline[2].active_requests, 2u);  // r0 + r1
+    EXPECT_EQ(report.timeline[3].active_requests, 1u);  // r1
+    EXPECT_EQ(report.timeline[4].active_requests, 0u);
+}
+
+TEST(Simulator, UtilizationWithinUnitForEnforcingSchedulers) {
+    common::Rng rng(17);
+    const core::Instance inst = random_instance(rng, 80, 3, 12, 8, 15);
+    core::OnsiteGreedy scheduler(inst);
+    const SimulationReport report = simulate(inst, scheduler);
+    for (const SlotRecord& rec : report.timeline) {
+        EXPECT_GE(rec.mean_utilization, 0.0);
+        EXPECT_LE(rec.mean_utilization, 1.0 + 1e-9);
+    }
+}
+
+TEST(Simulator, FailureInjectionDisabledByDefault) {
+    common::Rng rng(19);
+    const core::Instance inst = random_instance(rng, 30, 3, 10);
+    core::OnsitePrimalDual scheduler(inst);
+    const SimulationReport report = simulate(inst, scheduler);
+    EXPECT_EQ(report.served_request_slots, 0u);
+    EXPECT_EQ(report.disrupted_request_slots, 0u);
+    EXPECT_DOUBLE_EQ(report.empirical_availability(), 0.0);
+}
+
+TEST(Simulator, FailureInjectionDeliversRequiredAvailability) {
+    common::Rng rng(23);
+    const core::Instance inst = random_instance(rng, 120, 4, 20, 30, 50);
+    core::OnsitePrimalDual scheduler(inst);
+    SimulatorConfig cfg;
+    cfg.inject_failures = true;
+    cfg.failure_seed = 777;
+    const SimulationReport report = simulate(inst, scheduler, cfg);
+    const std::size_t samples = report.served_request_slots + report.disrupted_request_slots;
+    ASSERT_GT(samples, 100u);
+    // Every admitted placement has availability >= its requirement >= 0.90,
+    // so the pooled empirical availability must clear 0.90 minus noise.
+    EXPECT_GE(report.empirical_availability(), 0.88);
+}
+
+TEST(Simulator, FailureInjectionDeterministicBySeed) {
+    common::Rng rng(29);
+    const core::Instance inst = random_instance(rng, 60, 3, 12);
+    SimulatorConfig cfg;
+    cfg.inject_failures = true;
+    cfg.failure_seed = 555;
+    core::OnsitePrimalDual s1(inst);
+    core::OnsitePrimalDual s2(inst);
+    const SimulationReport r1 = simulate(inst, s1, cfg);
+    const SimulationReport r2 = simulate(inst, s2, cfg);
+    EXPECT_EQ(r1.served_request_slots, r2.served_request_slots);
+    EXPECT_EQ(r1.disrupted_request_slots, r2.disrupted_request_slots);
+}
+
+TEST(Metrics, PlacementStatsBasics) {
+    const auto inst = small_instance({0.99, 0.98}, 100.0, 6,
+                                     {make_request(0, 0, 0.9, 0, 3, 5.0),
+                                      make_request(1, 0, 0.9, 2, 2, 5.0)});
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = run_online(inst, scheduler);
+    const PlacementStats stats = placement_stats(inst, result.decisions);
+    EXPECT_EQ(stats.admitted, result.admitted);
+    EXPECT_DOUBLE_EQ(stats.mean_sites, 1.0);  // on-site: one cloudlet each
+    EXPECT_GE(stats.mean_replicas, 1.0);
+    EXPECT_GE(stats.min_slack, 0.0);  // requirements honoured
+    EXPECT_GT(stats.mean_availability, 0.9);
+}
+
+TEST(Metrics, TotalRevenueMatchesSchedule) {
+    common::Rng rng(31);
+    const core::Instance inst = random_instance(rng, 40, 3, 10);
+    core::OnsiteGreedy scheduler(inst);
+    const core::ScheduleResult result = run_online(inst, scheduler);
+    EXPECT_NEAR(total_revenue(inst, result.decisions), result.revenue, 1e-9);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+    common::Rng rng(37);
+    const core::Instance inst = random_instance(rng, 10, 2, 8);
+    std::vector<core::Decision> wrong(3);
+    EXPECT_THROW(placement_stats(inst, wrong), std::invalid_argument);
+    EXPECT_THROW(total_revenue(inst, wrong), std::invalid_argument);
+}
+
+TEST(Metrics, AccessHopsFromRequestSources) {
+    // Cloudlet at node 0 of a 6-ring; sources at nodes 0 and 3 -> access
+    // hop distances 0 and 3, mean 1.5.
+    core::Instance inst{edge::MecNetwork(net::ring(6)),
+                        vnfr::testing::two_type_catalog(),
+                        6,
+                        {make_request(0, 0, 0.9, 0, 2, 5.0),
+                         make_request(1, 0, 0.9, 1, 2, 5.0)}};
+    inst.network.add_cloudlet(NodeId{0}, 100.0, 0.99);
+    inst.requests[0].source = NodeId{0};
+    inst.requests[1].source = NodeId{3};
+    inst.validate();
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = run_online(inst, scheduler);
+    ASSERT_EQ(result.admitted, 2u);
+    const PlacementStats stats = placement_stats(inst, result.decisions);
+    EXPECT_NEAR(stats.mean_access_hops, 1.5, 1e-9);
+}
+
+TEST(Metrics, AccessHopsZeroWithoutSources) {
+    const auto inst = small_instance({0.99}, 100.0, 6,
+                                     {make_request(0, 0, 0.9, 0, 2, 5.0)});
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = run_online(inst, scheduler);
+    const PlacementStats stats = placement_stats(inst, result.decisions);
+    EXPECT_DOUBLE_EQ(stats.mean_access_hops, 0.0);
+}
+
+TEST(Metrics, CloudletUtilizations) {
+    const auto inst = small_instance({0.99}, 10.0, 4, {make_request(0, 0, 0.9, 0, 4, 5.0)});
+    core::OnsitePrimalDual scheduler(inst);
+    run_online(inst, scheduler);
+    const auto utils = cloudlet_utilizations(scheduler.ledger());
+    ASSERT_EQ(utils.size(), 1u);
+    EXPECT_GT(utils[0], 0.0);
+    EXPECT_LE(utils[0], 1.0);
+}
+
+}  // namespace
+}  // namespace vnfr::sim

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "vnf/catalog.hpp"
+#include "vnf/reliability.hpp"
+
+namespace vnfr::vnf {
+namespace {
+
+TEST(Catalog, AddAndGet) {
+    Catalog cat;
+    const VnfTypeId id = cat.add("firewall", 2.0, 0.95);
+    EXPECT_EQ(cat.size(), 1u);
+    const VnfType& t = cat.get(id);
+    EXPECT_EQ(t.name, "firewall");
+    EXPECT_DOUBLE_EQ(t.compute_units, 2.0);
+    EXPECT_DOUBLE_EQ(t.reliability, 0.95);
+    EXPECT_DOUBLE_EQ(cat.compute_units(id), 2.0);
+    EXPECT_DOUBLE_EQ(cat.reliability(id), 0.95);
+}
+
+TEST(Catalog, RejectsBadEntries) {
+    Catalog cat;
+    EXPECT_THROW(cat.add("x", 0.0, 0.9), std::invalid_argument);
+    EXPECT_THROW(cat.add("x", -1.0, 0.9), std::invalid_argument);
+    EXPECT_THROW(cat.add("x", 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(cat.add("x", 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Catalog, GetUnknownThrows) {
+    Catalog cat;
+    cat.add("a", 1.0, 0.9);
+    EXPECT_THROW(cat.get(VnfTypeId{5}), std::out_of_range);
+    EXPECT_THROW(cat.get(VnfTypeId{}), std::out_of_range);
+}
+
+TEST(Catalog, PaperDefaultMatchesSectionVI) {
+    common::Rng rng(1);
+    const Catalog cat = Catalog::paper_default(rng);
+    EXPECT_EQ(cat.size(), 10u);  // "10 types of VNFs"
+    for (const VnfType& t : cat.types()) {
+        EXPECT_GE(t.reliability, 0.9);
+        EXPECT_LE(t.reliability, 0.9999);
+        EXPECT_GE(t.compute_units, 1.0);
+        EXPECT_LE(t.compute_units, 3.0);
+    }
+}
+
+TEST(Catalog, PaperDefaultDeterministic) {
+    common::Rng a(9);
+    common::Rng b(9);
+    const Catalog c1 = Catalog::paper_default(a);
+    const Catalog c2 = Catalog::paper_default(b);
+    for (std::size_t i = 0; i < c1.size(); ++i) {
+        const VnfTypeId id{static_cast<std::int64_t>(i)};
+        EXPECT_DOUBLE_EQ(c1.reliability(id), c2.reliability(id));
+        EXPECT_DOUBLE_EQ(c1.compute_units(id), c2.compute_units(id));
+    }
+}
+
+// ---- On-site replica math (Eqs. 2 and 3) ----
+
+TEST(OnsiteAvailability, MatchesEquation2) {
+    // P = r_c * (1 - (1 - r_f)^N)
+    EXPECT_NEAR(onsite_availability(0.99, 0.9, 2), 0.99 * (1.0 - 0.01), 1e-12);
+    EXPECT_NEAR(onsite_availability(0.95, 0.5, 3), 0.95 * (1.0 - 0.125), 1e-12);
+}
+
+TEST(OnsiteAvailability, ZeroReplicasIsZero) {
+    EXPECT_DOUBLE_EQ(onsite_availability(0.99, 0.9, 0), 0.0);
+}
+
+TEST(OnsiteAvailability, CappedByCloudletReliability) {
+    // Strictly below r(c) at small replica counts; approaches it (equals in
+    // double precision) as N grows.
+    EXPECT_LT(onsite_availability(0.97, 0.9, 3), 0.97);
+    EXPECT_LE(onsite_availability(0.97, 0.9, 50), 0.97);
+}
+
+TEST(OnsiteAvailability, RejectsBadInput) {
+    EXPECT_THROW(onsite_availability(1.0, 0.9, 1), std::invalid_argument);
+    EXPECT_THROW(onsite_availability(0.9, 0.0, 1), std::invalid_argument);
+    EXPECT_THROW(onsite_availability(0.9, 0.9, -1), std::invalid_argument);
+}
+
+TEST(MinOnsiteReplicas, InfeasibleWhenCloudletTooUnreliable) {
+    // r(c_j) <= R_i: no replica count can help (Eq. 3 precondition).
+    EXPECT_FALSE(min_onsite_replicas(0.95, 0.99, 0.95).has_value());
+    EXPECT_FALSE(min_onsite_replicas(0.90, 0.99, 0.95).has_value());
+}
+
+TEST(MinOnsiteReplicas, SingleReplicaWhenVnfStrongEnough) {
+    // r_c * r_f = 0.999 * 0.99 = 0.98901 >= 0.95.
+    const auto n = min_onsite_replicas(0.999, 0.99, 0.95);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 1);
+}
+
+TEST(MinOnsiteReplicas, KnownHandComputedCase) {
+    // r_c = 0.99, r_f = 0.9, R = 0.95: need (1-0.9)^N <= 1 - 0.95/0.99
+    // = 0.040404 -> N = 2 (0.1^2 = 0.01 <= 0.0404, 0.1^1 = 0.1 > 0.0404).
+    const auto n = min_onsite_replicas(0.99, 0.9, 0.95);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 2);
+}
+
+// Property sweep: the returned count achieves R and is minimal.
+class ReplicaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ReplicaPropertyTest, ExactMinimum) {
+    const auto [rc, rf, req] = GetParam();
+    const auto n = min_onsite_replicas(rc, rf, req);
+    if (rc <= req) {
+        EXPECT_FALSE(n.has_value());
+        return;
+    }
+    ASSERT_TRUE(n.has_value());
+    EXPECT_GE(*n, 1);
+    EXPECT_GE(onsite_availability(rc, rf, *n), req);
+    if (*n > 1) {
+        EXPECT_LT(onsite_availability(rc, rf, *n - 1), req);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplicaPropertyTest,
+    ::testing::Combine(::testing::Values(0.91, 0.95, 0.99, 0.999, 0.9999),
+                       ::testing::Values(0.5, 0.9, 0.99, 0.9999),
+                       ::testing::Values(0.90, 0.95, 0.99, 0.998)));
+
+TEST(MinOnsiteReplicas, MonotoneInRequirement) {
+    int prev = 0;
+    for (const double req : {0.5, 0.7, 0.9, 0.95, 0.98}) {
+        const auto n = min_onsite_replicas(0.99, 0.8, req);
+        ASSERT_TRUE(n.has_value());
+        EXPECT_GE(*n, prev);
+        prev = *n;
+    }
+}
+
+TEST(MinOnsiteReplicas, MonotoneDecreasingInVnfReliability) {
+    int prev = 1000;
+    for (const double rf : {0.5, 0.7, 0.9, 0.99}) {
+        const auto n = min_onsite_replicas(0.999, rf, 0.99);
+        ASSERT_TRUE(n.has_value());
+        EXPECT_LE(*n, prev);
+        prev = *n;
+    }
+}
+
+// ---- Off-site math (Eq. 10) ----
+
+TEST(OffsiteAvailability, EmptySetIsZero) {
+    const std::vector<double> none;
+    EXPECT_DOUBLE_EQ(offsite_availability(0.9, none), 0.0);
+}
+
+TEST(OffsiteAvailability, SingleSiteIsProduct) {
+    const std::vector<double> one{0.98};
+    EXPECT_NEAR(offsite_availability(0.9, one), 0.9 * 0.98, 1e-12);
+}
+
+TEST(OffsiteAvailability, MatchesEquation10) {
+    const std::vector<double> sites{0.95, 0.99};
+    const double expected = 1.0 - (1.0 - 0.9 * 0.95) * (1.0 - 0.9 * 0.99);
+    EXPECT_NEAR(offsite_availability(0.9, sites), expected, 1e-12);
+}
+
+TEST(OffsiteAvailability, MonotoneInSites) {
+    std::vector<double> sites;
+    double prev = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        sites.push_back(0.95);
+        const double v = offsite_availability(0.9, sites);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(OffsiteMeets, ThresholdBehaviour) {
+    const std::vector<double> one{0.99};
+    // One site: availability 0.9 * 0.99 = 0.891.
+    EXPECT_TRUE(offsite_meets(0.9, one, 0.89));
+    EXPECT_FALSE(offsite_meets(0.9, one, 0.90));
+}
+
+TEST(OffsiteMeets, EmptyNeverMeets) {
+    const std::vector<double> none;
+    EXPECT_FALSE(offsite_meets(0.9, none, 0.5));
+}
+
+TEST(OffsiteMeets, ConsistentWithAvailability) {
+    common::Rng rng(4);
+    for (int trial = 0; trial < 200; ++trial) {
+        const double rf = rng.uniform(0.5, 0.999);
+        std::vector<double> sites;
+        const int k = static_cast<int>(rng.uniform_int(1, 5));
+        for (int i = 0; i < k; ++i) sites.push_back(rng.uniform(0.9, 0.9999));
+        const double req = rng.uniform(0.5, 0.999);
+        const double avail = offsite_availability(rf, sites);
+        EXPECT_EQ(offsite_meets(rf, sites, req), avail >= req)
+            << "avail=" << avail << " req=" << req;
+    }
+}
+
+TEST(OffsiteLogFailure, AlwaysNegative) {
+    EXPECT_LT(offsite_log_failure(0.9, 0.99), 0.0);
+    EXPECT_LT(offsite_log_failure(0.9999, 0.9999), 0.0);
+}
+
+TEST(OffsiteLogFailure, MatchesDirectLog) {
+    EXPECT_NEAR(offsite_log_failure(0.9, 0.95), std::log(1.0 - 0.9 * 0.95), 1e-12);
+}
+
+}  // namespace
+}  // namespace vnfr::vnf
