@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failover_dynamics.dir/ablation_failover_dynamics.cpp.o"
+  "CMakeFiles/ablation_failover_dynamics.dir/ablation_failover_dynamics.cpp.o.d"
+  "ablation_failover_dynamics"
+  "ablation_failover_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failover_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

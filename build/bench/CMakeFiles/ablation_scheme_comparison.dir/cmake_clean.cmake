@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheme_comparison.dir/ablation_scheme_comparison.cpp.o"
+  "CMakeFiles/ablation_scheme_comparison.dir/ablation_scheme_comparison.cpp.o.d"
+  "ablation_scheme_comparison"
+  "ablation_scheme_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheme_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sfc_chains.dir/ablation_sfc_chains.cpp.o"
+  "CMakeFiles/ablation_sfc_chains.dir/ablation_sfc_chains.cpp.o.d"
+  "ablation_sfc_chains"
+  "ablation_sfc_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sfc_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

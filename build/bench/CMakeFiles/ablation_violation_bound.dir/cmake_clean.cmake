@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_violation_bound.dir/ablation_violation_bound.cpp.o"
+  "CMakeFiles/ablation_violation_bound.dir/ablation_violation_bound.cpp.o.d"
+  "ablation_violation_bound"
+  "ablation_violation_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_violation_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

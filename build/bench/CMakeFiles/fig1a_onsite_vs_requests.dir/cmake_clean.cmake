@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_onsite_vs_requests.dir/fig1a_onsite_vs_requests.cpp.o"
+  "CMakeFiles/fig1a_onsite_vs_requests.dir/fig1a_onsite_vs_requests.cpp.o.d"
+  "fig1a_onsite_vs_requests"
+  "fig1a_onsite_vs_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_onsite_vs_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1b_offsite_vs_requests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_payment_ratio.dir/fig2a_payment_ratio.cpp.o"
+  "CMakeFiles/fig2a_payment_ratio.dir/fig2a_payment_ratio.cpp.o.d"
+  "fig2a_payment_ratio"
+  "fig2a_payment_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_payment_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

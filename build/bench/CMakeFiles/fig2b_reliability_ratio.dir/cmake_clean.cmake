@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_reliability_ratio.dir/fig2b_reliability_ratio.cpp.o"
+  "CMakeFiles/fig2b_reliability_ratio.dir/fig2b_reliability_ratio.cpp.o.d"
+  "fig2b_reliability_ratio"
+  "fig2b_reliability_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_reliability_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

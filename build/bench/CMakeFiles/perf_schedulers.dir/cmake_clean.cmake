@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_schedulers.dir/perf_schedulers.cpp.o"
+  "CMakeFiles/perf_schedulers.dir/perf_schedulers.cpp.o.d"
+  "perf_schedulers"
+  "perf_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_injection_study.dir/failure_injection_study.cpp.o"
+  "CMakeFiles/failure_injection_study.dir/failure_injection_study.cpp.o.d"
+  "failure_injection_study"
+  "failure_injection_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_injection_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

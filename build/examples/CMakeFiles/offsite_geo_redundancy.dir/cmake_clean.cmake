@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offsite_geo_redundancy.dir/offsite_geo_redundancy.cpp.o"
+  "CMakeFiles/offsite_geo_redundancy.dir/offsite_geo_redundancy.cpp.o.d"
+  "offsite_geo_redundancy"
+  "offsite_geo_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offsite_geo_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

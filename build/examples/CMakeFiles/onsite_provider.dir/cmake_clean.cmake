@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onsite_provider.dir/onsite_provider.cpp.o"
+  "CMakeFiles/onsite_provider.dir/onsite_provider.cpp.o.d"
+  "onsite_provider"
+  "onsite_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onsite_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_chains.dir/sfc_chains.cpp.o"
+  "CMakeFiles/sfc_chains.dir/sfc_chains.cpp.o.d"
+  "sfc_chains"
+  "sfc_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

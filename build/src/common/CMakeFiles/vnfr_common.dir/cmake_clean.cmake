@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_common.dir/logging.cpp.o"
+  "CMakeFiles/vnfr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vnfr_common.dir/math.cpp.o"
+  "CMakeFiles/vnfr_common.dir/math.cpp.o.d"
+  "CMakeFiles/vnfr_common.dir/rng.cpp.o"
+  "CMakeFiles/vnfr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vnfr_common.dir/stats.cpp.o"
+  "CMakeFiles/vnfr_common.dir/stats.cpp.o.d"
+  "libvnfr_common.a"
+  "libvnfr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

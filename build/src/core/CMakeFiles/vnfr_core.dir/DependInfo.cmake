@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/vnfr_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/vnfr_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/vnfr_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/hybrid_primal_dual.cpp" "src/core/CMakeFiles/vnfr_core.dir/hybrid_primal_dual.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/hybrid_primal_dual.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/vnfr_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/offline.cpp" "src/core/CMakeFiles/vnfr_core.dir/offline.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/offline.cpp.o.d"
+  "/root/repo/src/core/offsite_primal_dual.cpp" "src/core/CMakeFiles/vnfr_core.dir/offsite_primal_dual.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/offsite_primal_dual.cpp.o.d"
+  "/root/repo/src/core/onsite_primal_dual.cpp" "src/core/CMakeFiles/vnfr_core.dir/onsite_primal_dual.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/onsite_primal_dual.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/vnfr_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/vnfr_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/vnfr_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/vnfr_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/vnfr_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vnfr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vnfr_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_core.dir/bounds.cpp.o"
+  "CMakeFiles/vnfr_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/exhaustive.cpp.o"
+  "CMakeFiles/vnfr_core.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/greedy.cpp.o"
+  "CMakeFiles/vnfr_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/hybrid_primal_dual.cpp.o"
+  "CMakeFiles/vnfr_core.dir/hybrid_primal_dual.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/instance.cpp.o"
+  "CMakeFiles/vnfr_core.dir/instance.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/offline.cpp.o"
+  "CMakeFiles/vnfr_core.dir/offline.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/offsite_primal_dual.cpp.o"
+  "CMakeFiles/vnfr_core.dir/offsite_primal_dual.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/onsite_primal_dual.cpp.o"
+  "CMakeFiles/vnfr_core.dir/onsite_primal_dual.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/schedule.cpp.o"
+  "CMakeFiles/vnfr_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/vnfr_core.dir/verify.cpp.o"
+  "CMakeFiles/vnfr_core.dir/verify.cpp.o.d"
+  "libvnfr_core.a"
+  "libvnfr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvnfr_core.a"
+)

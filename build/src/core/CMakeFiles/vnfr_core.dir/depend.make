@@ -1,0 +1,2 @@
+# Empty dependencies file for vnfr_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/mec_network.cpp" "src/edge/CMakeFiles/vnfr_edge.dir/mec_network.cpp.o" "gcc" "src/edge/CMakeFiles/vnfr_edge.dir/mec_network.cpp.o.d"
+  "/root/repo/src/edge/resource_ledger.cpp" "src/edge/CMakeFiles/vnfr_edge.dir/resource_ledger.cpp.o" "gcc" "src/edge/CMakeFiles/vnfr_edge.dir/resource_ledger.cpp.o.d"
+  "/root/repo/src/edge/visualization.cpp" "src/edge/CMakeFiles/vnfr_edge.dir/visualization.cpp.o" "gcc" "src/edge/CMakeFiles/vnfr_edge.dir/visualization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_edge.dir/mec_network.cpp.o"
+  "CMakeFiles/vnfr_edge.dir/mec_network.cpp.o.d"
+  "CMakeFiles/vnfr_edge.dir/resource_ledger.cpp.o"
+  "CMakeFiles/vnfr_edge.dir/resource_ledger.cpp.o.d"
+  "CMakeFiles/vnfr_edge.dir/visualization.cpp.o"
+  "CMakeFiles/vnfr_edge.dir/visualization.cpp.o.d"
+  "libvnfr_edge.a"
+  "libvnfr_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/algorithms.cpp" "src/net/CMakeFiles/vnfr_net.dir/algorithms.cpp.o" "gcc" "src/net/CMakeFiles/vnfr_net.dir/algorithms.cpp.o.d"
+  "/root/repo/src/net/generators.cpp" "src/net/CMakeFiles/vnfr_net.dir/generators.cpp.o" "gcc" "src/net/CMakeFiles/vnfr_net.dir/generators.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/vnfr_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/vnfr_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/shortest_path.cpp" "src/net/CMakeFiles/vnfr_net.dir/shortest_path.cpp.o" "gcc" "src/net/CMakeFiles/vnfr_net.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/net/topology_zoo.cpp" "src/net/CMakeFiles/vnfr_net.dir/topology_zoo.cpp.o" "gcc" "src/net/CMakeFiles/vnfr_net.dir/topology_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

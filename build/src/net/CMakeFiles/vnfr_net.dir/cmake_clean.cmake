@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_net.dir/algorithms.cpp.o"
+  "CMakeFiles/vnfr_net.dir/algorithms.cpp.o.d"
+  "CMakeFiles/vnfr_net.dir/generators.cpp.o"
+  "CMakeFiles/vnfr_net.dir/generators.cpp.o.d"
+  "CMakeFiles/vnfr_net.dir/graph.cpp.o"
+  "CMakeFiles/vnfr_net.dir/graph.cpp.o.d"
+  "CMakeFiles/vnfr_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/vnfr_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/vnfr_net.dir/topology_zoo.cpp.o"
+  "CMakeFiles/vnfr_net.dir/topology_zoo.cpp.o.d"
+  "libvnfr_net.a"
+  "libvnfr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/branch_and_bound.cpp" "src/opt/CMakeFiles/vnfr_opt.dir/branch_and_bound.cpp.o" "gcc" "src/opt/CMakeFiles/vnfr_opt.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/opt/lp.cpp" "src/opt/CMakeFiles/vnfr_opt.dir/lp.cpp.o" "gcc" "src/opt/CMakeFiles/vnfr_opt.dir/lp.cpp.o.d"
+  "/root/repo/src/opt/presolve.cpp" "src/opt/CMakeFiles/vnfr_opt.dir/presolve.cpp.o" "gcc" "src/opt/CMakeFiles/vnfr_opt.dir/presolve.cpp.o.d"
+  "/root/repo/src/opt/simplex.cpp" "src/opt/CMakeFiles/vnfr_opt.dir/simplex.cpp.o" "gcc" "src/opt/CMakeFiles/vnfr_opt.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

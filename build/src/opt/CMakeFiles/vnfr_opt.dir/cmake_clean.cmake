@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_opt.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/vnfr_opt.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/vnfr_opt.dir/lp.cpp.o"
+  "CMakeFiles/vnfr_opt.dir/lp.cpp.o.d"
+  "CMakeFiles/vnfr_opt.dir/presolve.cpp.o"
+  "CMakeFiles/vnfr_opt.dir/presolve.cpp.o.d"
+  "CMakeFiles/vnfr_opt.dir/simplex.cpp.o"
+  "CMakeFiles/vnfr_opt.dir/simplex.cpp.o.d"
+  "libvnfr_opt.a"
+  "libvnfr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_report.dir/csv.cpp.o"
+  "CMakeFiles/vnfr_report.dir/csv.cpp.o.d"
+  "CMakeFiles/vnfr_report.dir/table.cpp.o"
+  "CMakeFiles/vnfr_report.dir/table.cpp.o.d"
+  "libvnfr_report.a"
+  "libvnfr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/chain_reliability.cpp" "src/sfc/CMakeFiles/vnfr_sfc.dir/chain_reliability.cpp.o" "gcc" "src/sfc/CMakeFiles/vnfr_sfc.dir/chain_reliability.cpp.o.d"
+  "/root/repo/src/sfc/chain_scheduler.cpp" "src/sfc/CMakeFiles/vnfr_sfc.dir/chain_scheduler.cpp.o" "gcc" "src/sfc/CMakeFiles/vnfr_sfc.dir/chain_scheduler.cpp.o.d"
+  "/root/repo/src/sfc/chain_workload.cpp" "src/sfc/CMakeFiles/vnfr_sfc.dir/chain_workload.cpp.o" "gcc" "src/sfc/CMakeFiles/vnfr_sfc.dir/chain_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vnfr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/vnfr_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vnfr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/vnfr_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vnfr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_sfc.dir/chain_reliability.cpp.o"
+  "CMakeFiles/vnfr_sfc.dir/chain_reliability.cpp.o.d"
+  "CMakeFiles/vnfr_sfc.dir/chain_scheduler.cpp.o"
+  "CMakeFiles/vnfr_sfc.dir/chain_scheduler.cpp.o.d"
+  "CMakeFiles/vnfr_sfc.dir/chain_workload.cpp.o"
+  "CMakeFiles/vnfr_sfc.dir/chain_workload.cpp.o.d"
+  "libvnfr_sfc.a"
+  "libvnfr_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

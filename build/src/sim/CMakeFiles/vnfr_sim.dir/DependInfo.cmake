@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/availability_process.cpp" "src/sim/CMakeFiles/vnfr_sim.dir/availability_process.cpp.o" "gcc" "src/sim/CMakeFiles/vnfr_sim.dir/availability_process.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/vnfr_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/vnfr_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/failover_study.cpp" "src/sim/CMakeFiles/vnfr_sim.dir/failover_study.cpp.o" "gcc" "src/sim/CMakeFiles/vnfr_sim.dir/failover_study.cpp.o.d"
+  "/root/repo/src/sim/failure_model.cpp" "src/sim/CMakeFiles/vnfr_sim.dir/failure_model.cpp.o" "gcc" "src/sim/CMakeFiles/vnfr_sim.dir/failure_model.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/vnfr_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/vnfr_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/vnfr_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/vnfr_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vnfr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/vnfr_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vnfr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/vnfr_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vnfr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

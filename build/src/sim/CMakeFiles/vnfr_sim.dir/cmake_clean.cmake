@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_sim.dir/availability_process.cpp.o"
+  "CMakeFiles/vnfr_sim.dir/availability_process.cpp.o.d"
+  "CMakeFiles/vnfr_sim.dir/experiment.cpp.o"
+  "CMakeFiles/vnfr_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/vnfr_sim.dir/failover_study.cpp.o"
+  "CMakeFiles/vnfr_sim.dir/failover_study.cpp.o.d"
+  "CMakeFiles/vnfr_sim.dir/failure_model.cpp.o"
+  "CMakeFiles/vnfr_sim.dir/failure_model.cpp.o.d"
+  "CMakeFiles/vnfr_sim.dir/metrics.cpp.o"
+  "CMakeFiles/vnfr_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/vnfr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vnfr_sim.dir/simulator.cpp.o.d"
+  "libvnfr_sim.a"
+  "libvnfr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_vnf.dir/catalog.cpp.o"
+  "CMakeFiles/vnfr_vnf.dir/catalog.cpp.o.d"
+  "CMakeFiles/vnfr_vnf.dir/reliability.cpp.o"
+  "CMakeFiles/vnfr_vnf.dir/reliability.cpp.o.d"
+  "libvnfr_vnf.a"
+  "libvnfr_vnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfr_workload.dir/generator.cpp.o"
+  "CMakeFiles/vnfr_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/vnfr_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/vnfr_workload.dir/trace_io.cpp.o.d"
+  "libvnfr_workload.a"
+  "libvnfr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

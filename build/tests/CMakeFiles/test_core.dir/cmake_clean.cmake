@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_bounds.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_bounds.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_competitive.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_competitive.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_greedy.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_greedy.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_hybrid.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_hybrid.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_offline.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_offline.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_offsite.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_offsite.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_onsite.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_onsite.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_rejection.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_rejection.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_verify.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_verify.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

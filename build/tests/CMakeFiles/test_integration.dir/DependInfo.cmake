@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fuzz_schedulers.cpp" "tests/CMakeFiles/test_integration.dir/test_fuzz_schedulers.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_fuzz_schedulers.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vnfr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vnfr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/vnfr_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/vnfr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/vnfr_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnfr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vnfr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/vnfr_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vnfr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vnfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

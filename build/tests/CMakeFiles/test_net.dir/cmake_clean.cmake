@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/test_net_generators.cpp.o"
+  "CMakeFiles/test_net.dir/test_net_generators.cpp.o.d"
+  "CMakeFiles/test_net.dir/test_net_graph.cpp.o"
+  "CMakeFiles/test_net.dir/test_net_graph.cpp.o.d"
+  "CMakeFiles/test_net.dir/test_net_shortest_path.cpp.o"
+  "CMakeFiles/test_net.dir/test_net_shortest_path.cpp.o.d"
+  "CMakeFiles/test_net.dir/test_net_topology_zoo.cpp.o"
+  "CMakeFiles/test_net.dir/test_net_topology_zoo.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/test_opt_bnb.cpp.o"
+  "CMakeFiles/test_opt.dir/test_opt_bnb.cpp.o.d"
+  "CMakeFiles/test_opt.dir/test_opt_lp.cpp.o"
+  "CMakeFiles/test_opt.dir/test_opt_lp.cpp.o.d"
+  "CMakeFiles/test_opt.dir/test_opt_presolve.cpp.o"
+  "CMakeFiles/test_opt.dir/test_opt_presolve.cpp.o.d"
+  "CMakeFiles/test_opt.dir/test_opt_properties.cpp.o"
+  "CMakeFiles/test_opt.dir/test_opt_properties.cpp.o.d"
+  "CMakeFiles/test_opt.dir/test_opt_simplex.cpp.o"
+  "CMakeFiles/test_opt.dir/test_opt_simplex.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

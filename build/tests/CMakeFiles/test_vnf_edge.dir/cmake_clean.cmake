@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vnf_edge.dir/test_edge_ledger.cpp.o"
+  "CMakeFiles/test_vnf_edge.dir/test_edge_ledger.cpp.o.d"
+  "CMakeFiles/test_vnf_edge.dir/test_edge_mec.cpp.o"
+  "CMakeFiles/test_vnf_edge.dir/test_edge_mec.cpp.o.d"
+  "CMakeFiles/test_vnf_edge.dir/test_edge_visualization.cpp.o"
+  "CMakeFiles/test_vnf_edge.dir/test_edge_visualization.cpp.o.d"
+  "CMakeFiles/test_vnf_edge.dir/test_vnf.cpp.o"
+  "CMakeFiles/test_vnf_edge.dir/test_vnf.cpp.o.d"
+  "test_vnf_edge"
+  "test_vnf_edge.pdb"
+  "test_vnf_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vnf_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnfrsim.dir/vnfrsim.cpp.o"
+  "CMakeFiles/vnfrsim.dir/vnfrsim.cpp.o.d"
+  "vnfrsim"
+  "vnfrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnfrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

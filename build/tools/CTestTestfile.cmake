@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vnfrsim_help "/root/repo/build/tools/vnfrsim" "--help")
+set_tests_properties(vnfrsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vnfrsim_basic_run "/root/repo/build/tools/vnfrsim" "--requests" "40" "--seeds" "2" "--topology" "abilene" "--cloudlets" "5")
+set_tests_properties(vnfrsim_basic_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vnfrsim_csv_offline "/root/repo/build/tools/vnfrsim" "--requests" "30" "--seeds" "1" "--csv" "--offline-bound" "--algorithms" "onsite-primal-dual,onsite-greedy")
+set_tests_properties(vnfrsim_csv_offline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vnfrsim_failures_google "/root/repo/build/tools/vnfrsim" "--requests" "30" "--seeds" "1" "--profile" "google" "--inject-failures")
+set_tests_properties(vnfrsim_failures_google PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vnfrsim_rejects_unknown_flag "/root/repo/build/tools/vnfrsim" "--bogus")
+set_tests_properties(vnfrsim_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vnfrsim_rejects_unknown_algorithm "/root/repo/build/tools/vnfrsim" "--algorithms" "not-a-scheduler")
+set_tests_properties(vnfrsim_rejects_unknown_algorithm PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
