@@ -48,11 +48,12 @@ int main() {
                 const sim::FailoverReport report =
                     sim::run_failover_study(inst, result.decisions, cfg);
                 const double per_k =
-                    1000.0 / std::max<std::size_t>(1, report.request_slots);
+                    1000.0 /
+                    static_cast<double>(std::max<std::size_t>(1, report.request_slots));
                 agg.availability.add(report.availability());
-                agg.outages.add(report.outages * per_k);
-                agg.local.add(report.local_failovers * per_k);
-                agg.remote.add(report.remote_failovers * per_k);
+                agg.outages.add(static_cast<double>(report.outages) * per_k);
+                agg.local.add(static_cast<double>(report.local_failovers) * per_k);
+                agg.remote.add(static_cast<double>(report.remote_failovers) * per_k);
             };
             core::OnsitePrimalDual onsite(inst);
             study(onsite, onsite_agg);

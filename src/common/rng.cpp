@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include "common/contracts.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -74,11 +76,13 @@ double Rng::exponential(double lambda) {
 double Rng::bounded_pareto(double alpha, double lo, double hi) {
     if (alpha <= 0.0 || lo <= 0.0 || hi < lo)
         throw std::invalid_argument("Rng::bounded_pareto: bad parameters");
-    if (lo == hi) return lo;
+    if (lo == hi) return lo;  // vnfr-lint: allow(float-eq)
     const double u = uniform01();
+    VNFR_CHECK(lo > 0.0 && hi > 0.0, "bounded_pareto: pow needs positive bounds");
     const double la = std::pow(lo, alpha);
     const double ha = std::pow(hi, alpha);
     // Inverse CDF of the Pareto truncated to [lo, hi].
+    VNFR_CHECK(ha * la > 0.0, "bounded_pareto: inverse-CDF base must be positive");
     return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
 }
 
@@ -109,7 +113,8 @@ double Rng::normal(double mean, double stddev) {
         u = uniform(-1.0, 1.0);
         v = uniform(-1.0, 1.0);
         s = u * u + v * v;
-    } while (s >= 1.0 || s == 0.0);
+    } while (s >= 1.0 || s == 0.0);  // vnfr-lint: allow(float-eq)
+    VNFR_DCHECK(s > 0.0 && s < 1.0, "Marsaglia polar: s in (0, 1) by the loop above");
     const double factor = std::sqrt(-2.0 * std::log(s) / s);
     cached_normal_ = v * factor;
     has_cached_normal_ = true;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "vnf/reliability.hpp"
 
 namespace vnfr::core {
@@ -56,9 +57,15 @@ TheoryBounds compute_onsite_bounds(const Instance& instance) {
                              (1.0 / b.a_min + b.a_max / (b.a_min * b.cap_min) +
                               b.a_max / (b.d_min * b.cap_min)) +
                          1.0;
+    // Lemma 8 log arguments: both must exceed 1 for the bound to be
+    // positive and finite (a_min > 0, cap_max > 0 imply the first).
+    VNFR_CHECK(b.a_min > 0.0 && b.cap_max > 0.0, "Lemma 8 needs a_min, cap_max > 0");
+    VNFR_CHECK(inner > 1.0, "Lemma 8 inner log argument must exceed 1, got ", inner);
     b.absolute_usage_bound =
         b.a_max / std::log2(1.0 + b.a_min / b.cap_max) * std::log2(inner);
+    VNFR_CHECK_FINITE(b.absolute_usage_bound);
     b.xi = b.absolute_usage_bound / b.cap_min;
+    VNFR_CHECK(b.xi > 0.0, "Lemma 8 violation factor xi");
     return b;
 }
 

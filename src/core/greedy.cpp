@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 #include "vnf/reliability.hpp"
 
@@ -16,7 +17,7 @@ std::vector<CloudletId> cloudlets_by_reliability(const Instance& instance) {
     std::sort(order.begin(), order.end(), [&](CloudletId a, CloudletId b) {
         const double ra = instance.network.cloudlet(a).reliability;
         const double rb = instance.network.cloudlet(b).reliability;
-        if (ra != rb) return ra > rb;
+        if (!common::almost_equal(ra, rb)) return ra > rb;
         return a < b;
     });
     return order;
@@ -38,6 +39,8 @@ Decision OnsiteGreedy::decide(const workload::Request& request) {
         const auto n = vnf::min_onsite_replicas(instance_.network.cloudlet(j).reliability,
                                                 vnf_rel, request.requirement);
         if (!n) continue;
+        VNFR_CHECK(*n >= 1, "Eq. (3) replica count for request ", request.id.value,
+                   " on cloudlet ", j.value);
         any_reliable = true;
         const double demand = *n * compute;
         if (!ledger_.fits(j, request.arrival, request.end(), demand)) continue;
@@ -61,7 +64,7 @@ OffsiteGreedy::OffsiteGreedy(const Instance& instance)
 
 Decision OffsiteGreedy::decide(const workload::Request& request) {
     const double compute = instance_.catalog.compute_units(request.vnf);
-    const double vnf_rel = instance_.catalog.reliability(request.vnf);
+    const double vnf_rel = VNFR_CHECK_PROB(instance_.catalog.reliability(request.vnf));
     const double log_target = common::log1m(request.requirement);
 
     std::vector<CloudletId> selected;
@@ -71,6 +74,8 @@ Decision OffsiteGreedy::decide(const workload::Request& request) {
     for (const CloudletId j : by_reliability_) {
         const double pair_fail =
             vnf::offsite_log_failure(vnf_rel, instance_.network.cloudlet(j).reliability);
+        VNFR_DCHECK(pair_fail < 0.0, "offsite log-failure must be negative for cloudlet ",
+                    j.value);
         log_fail_everything += pair_fail;
         if (met || !ledger_.fits(j, request.arrival, request.end(), compute)) continue;
         selected.push_back(j);

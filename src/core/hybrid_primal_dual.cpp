@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 #include "vnf/reliability.hpp"
 
@@ -71,13 +72,18 @@ std::optional<HybridPrimalDual::OnsiteOption> HybridPrimalDual::price_onsite(
     for (const edge::Cloudlet& c : instance_.network.cloudlets()) {
         const auto n = vnf::min_onsite_replicas(c.reliability, vnf_rel, request.requirement);
         if (!n) continue;
+        VNFR_CHECK(*n >= 1, "Eq. (3) replica count for request ", request.id.value,
+                   " on cloudlet ", c.id.value);
         const double demand = *n * compute;
         if (!ledger_.fits(c.id, request.arrival, request.end(), demand)) continue;
         double price = 0.0;
         const auto& lam = lambda_onsite_[c.id.index()];
         for (TimeSlot t = request.arrival; t < request.end(); ++t) {
+            VNFR_DCHECK(lam[static_cast<std::size_t>(t)] >= 0.0,
+                        "onsite dual price lambda_", c.id.value, "(", t, ") went negative");
             price += demand * lam[static_cast<std::size_t>(t)];
         }
+        VNFR_CHECK_FINITE(price);
         if (!best || price < best->price - 1e-12 ||
             (price < best->price + 1e-12 && demand < best_demand)) {
             best = OnsiteOption{c.id, *n, price};
@@ -90,8 +96,10 @@ std::optional<HybridPrimalDual::OnsiteOption> HybridPrimalDual::price_onsite(
 std::optional<HybridPrimalDual::OffsiteOption> HybridPrimalDual::price_offsite(
     const workload::Request& request) const {
     const double compute = instance_.catalog.compute_units(request.vnf);
-    const double vnf_rel = instance_.catalog.reliability(request.vnf);
+    const double vnf_rel = VNFR_CHECK_PROB(instance_.catalog.reliability(request.vnf));
     const double log_target = common::log1m(request.requirement);
+    VNFR_CHECK(log_target < 0.0, "requirement R_i must be positive for request ",
+               request.id.value);
 
     struct Candidate {
         CloudletId cloudlet;
@@ -102,9 +110,15 @@ std::optional<HybridPrimalDual::OffsiteOption> HybridPrimalDual::price_offsite(
         double lambda_sum = 0.0;
         const auto& lam = lambda_offsite_[c.id.index()];
         for (TimeSlot t = request.arrival; t < request.end(); ++t) {
+            VNFR_DCHECK(lam[static_cast<std::size_t>(t)] >= 0.0,
+                        "offsite dual price lambda_", c.id.value, "(", t,
+                        ") went negative");
             lambda_sum += lam[static_cast<std::size_t>(t)];
         }
-        const double w = lambda_sum / (-vnf::offsite_log_failure(vnf_rel, c.reliability));
+        const double log_pair = vnf::offsite_log_failure(vnf_rel, c.reliability);
+        VNFR_CHECK(log_pair < 0.0, "offsite log-failure must be negative for cloudlet ",
+                   c.id.value);
+        const double w = VNFR_CHECK_FINITE(lambda_sum / -log_pair);
         if (request.payment + log_target * compute * w <= 0.0) continue;
         candidates.push_back({c.id, w});
     }
@@ -112,7 +126,7 @@ std::optional<HybridPrimalDual::OffsiteOption> HybridPrimalDual::price_offsite(
         if (a.w < b.w - 1e-12 || b.w < a.w - 1e-12) return a.w < b.w;
         const double ra = instance_.network.cloudlet(a.cloudlet).reliability;
         const double rb = instance_.network.cloudlet(b.cloudlet).reliability;
-        if (ra != rb) return ra > rb;
+        if (!common::almost_equal(ra, rb)) return ra > rb;
         return a.cloudlet < b.cloudlet;
     });
 
@@ -139,12 +153,15 @@ void HybridPrimalDual::admit_onsite(const workload::Request& request,
     ledger_.reserve(option.cloudlet, request.arrival, request.end(), demand);
     const double cap =
         instance_.network.cloudlet(option.cloudlet).capacity * onsite_scale_;
+    VNFR_CHECK(cap > 0.0, "dual update capacity for cloudlet ", option.cloudlet.value);
     const double mult = 1.0 + demand / cap;
     const double add = demand * request.payment / (request.duration * cap);
     auto& lam = lambda_onsite_[option.cloudlet.index()];
     for (TimeSlot t = request.arrival; t < request.end(); ++t) {
         auto& value = lam[static_cast<std::size_t>(t)];
         value = value * mult + add;
+        VNFR_DCHECK(std::isfinite(value) && value >= 0.0, "Eq. (34) dual update for ",
+                    option.cloudlet.value, " slot ", t);
     }
     ++onsite_admissions_;
 }
@@ -159,13 +176,17 @@ void HybridPrimalDual::admit_offsite(const workload::Request& request,
         const edge::Cloudlet& cloudlet = instance_.network.cloudlet(j);
         const double ratio =
             log_target / vnf::offsite_log_failure(vnf_rel, cloudlet.reliability);
+        VNFR_CHECK(ratio > 0.0, "Eq. (67) growth ratio for cloudlet ", j.value);
         const double cap = cloudlet.capacity * offsite_scale_;
+        VNFR_CHECK(cap > 0.0, "dual update capacity for cloudlet ", j.value);
         const double mult = 1.0 + ratio * compute / cap;
         const double add = ratio * compute * request.payment / (request.duration * cap);
         auto& lam = lambda_offsite_[j.index()];
         for (TimeSlot t = request.arrival; t < request.end(); ++t) {
             auto& value = lam[static_cast<std::size_t>(t)];
             value = value * mult + add;
+            VNFR_DCHECK(std::isfinite(value) && value >= 0.0,
+                        "Eq. (67) dual update for ", j.value, " slot ", t);
         }
     }
     ++offsite_admissions_;

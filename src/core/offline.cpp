@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 #include "opt/presolve.hpp"
 #include "vnf/reliability.hpp"
@@ -59,6 +60,8 @@ OfflineModel build_onsite_model(const Instance& instance) {
                     .reliability,
                 instance.catalog.reliability(r.vnf), r.requirement);
             if (!count) continue;
+            VNFR_CHECK(*count >= 1, "Eq. (3) replica count for request ", i,
+                       " on cloudlet ", j);
             replicas[i][j] = *count;
             const std::size_t y = model.lp.add_variable(
                 0.0, 1.0, "y" + std::to_string(i) + "_" + std::to_string(j));
@@ -122,9 +125,13 @@ OfflineModel build_offsite_model(const Instance& instance, bool anchor_rejected_
             a[j] = vnf::offsite_log_failure(
                 vnf_rel, instance.network.cloudlet(CloudletId{static_cast<std::int64_t>(j)})
                              .reliability);
+            // Constraint (50) divides through these; a zero or positive
+            // coefficient would silently invert the row's meaning.
+            VNFR_CHECK(a[j] < 0.0, "offsite log-failure coefficient a[", i, "][", j, "]");
             lower_li += a[j];
         }
         const double log_target = common::log1m(r.requirement);
+        VNFR_CHECK(log_target < 0.0, "requirement R_i must be positive for request ", i);
 
         // (50): sum_j a_ij Y_ij - ln(1-R_i) X_i <= 0.
         std::vector<std::pair<std::size_t, double>> meet;

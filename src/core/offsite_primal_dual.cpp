@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 #include "vnf/reliability.hpp"
 
@@ -55,16 +56,25 @@ double OffsitePrimalDual::normalized_price(const workload::Request& request,
     double lambda_sum = 0.0;
     const auto& lam = lambda_[j.index()];
     for (TimeSlot t = request.arrival; t < request.end(); ++t) {
+        VNFR_DCHECK(lam[static_cast<std::size_t>(t)] >= 0.0, "dual price lambda_",
+                    j.value, "(", t, ") went negative");
         lambda_sum += lam[static_cast<std::size_t>(t)];
     }
-    return lambda_sum / (-vnf::offsite_log_failure(vnf_rel, cloud_rel));
+    // ln(1 - r_f r_c) < 0 whenever both reliabilities are in (0, 1), so the
+    // normalized price w_j = sum(lambda) / -ln(1 - r_f r_c) stays >= 0.
+    const double log_pair = vnf::offsite_log_failure(vnf_rel, cloud_rel);
+    VNFR_CHECK(log_pair < 0.0, "offsite log-failure must be negative for cloudlet ",
+               j.value);
+    return VNFR_CHECK_FINITE(lambda_sum / -log_pair);
 }
 
 Decision OffsitePrimalDual::decide(const workload::Request& request) {
     const std::size_t m = instance_.network.cloudlet_count();
     const double compute = instance_.catalog.compute_units(request.vnf);
-    const double vnf_rel = instance_.catalog.reliability(request.vnf);
+    const double vnf_rel = VNFR_CHECK_PROB(instance_.catalog.reliability(request.vnf));
     const double log_target = common::log1m(request.requirement);  // ln(1 - R_i)
+    VNFR_CHECK(log_target < 0.0, "requirement R_i must be positive for request ",
+               request.id.value);
 
     // Step 1: price every cloudlet and prune the unaffordable ones.
     struct Candidate {
@@ -107,7 +117,7 @@ Decision OffsitePrimalDual::decide(const workload::Request& request) {
                   }
                   const double ra = instance_.network.cloudlet(a.cloudlet).reliability;
                   const double rb = instance_.network.cloudlet(b.cloudlet).reliability;
-                  if (ra != rb) return ra > rb;
+                  if (!common::almost_equal(ra, rb)) return ra > rb;
                   return a.cloudlet < b.cloudlet;
               });
 
@@ -157,13 +167,17 @@ Decision OffsitePrimalDual::decide(const workload::Request& request) {
         // Eq. 67 against the (possibly scaled) capacity;
         // ln(1-R)/ln(1-r_f r_c) > 0, so lambda grows monotonically.
         const double ratio = log_target / log_pair;
+        VNFR_CHECK(ratio > 0.0, "Eq. (67) growth ratio for cloudlet ", j.value);
         const double cap = cloudlet.capacity * dual_scale_;
+        VNFR_CHECK(cap > 0.0, "dual update capacity for cloudlet ", j.value);
         const double mult = 1.0 + ratio * compute / cap;
         const double add = ratio * compute * request.payment / (request.duration * cap);
         auto& lam = lambda_[j.index()];
         for (TimeSlot t = request.arrival; t < request.end(); ++t) {
             auto& value = lam[static_cast<std::size_t>(t)];
             value = value * mult + add;
+            VNFR_DCHECK(std::isfinite(value) && value >= 0.0,
+                        "Eq. (67) dual update for ", j.value, " slot ", t);
         }
     }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "vnf/reliability.hpp"
 
 namespace vnfr::core {
@@ -97,6 +98,11 @@ Decision OnsitePrimalDual::decide(const workload::Request& request) {
         const CloudletId j{static_cast<std::int64_t>(idx)};
         const std::optional<int> n = replica_count(request, j);
         if (!n) continue;  // r(c_j) <= R_i: this cloudlet can never satisfy rho_i
+        // Eq. (3) only yields a count when r(c_j) > R_i, and it is >= 1.
+        VNFR_CHECK(*n >= 1, "Eq. (3) replica count for request ", request.id.value,
+                   " on cloudlet ", j.value);
+        VNFR_DCHECK(instance_.network.cloudlet(j).reliability > request.requirement,
+                    "feasibility precondition r(c_j) > R_i violated");
         any_reliable = true;
         const double demand = *n * compute;
         if (config_.enforce_capacity &&
@@ -106,8 +112,11 @@ Decision OnsitePrimalDual::decide(const workload::Request& request) {
         double price = 0.0;
         const auto& lam = lambda_[idx];
         for (TimeSlot t = request.arrival; t < request.end(); ++t) {
+            VNFR_DCHECK(lam[static_cast<std::size_t>(t)] >= 0.0, "dual price lambda_",
+                        j.value, "(", t, ") went negative");
             price += demand * lam[static_cast<std::size_t>(t)];
         }
+        VNFR_CHECK_FINITE(price);
         if (price < best_price - 1e-12 ||
             (price < best_price + 1e-12 && demand < best_demand)) {
             best_price = std::min(best_price, price);
@@ -133,17 +142,24 @@ Decision OnsitePrimalDual::decide(const workload::Request& request) {
 
     const double demand = best_replicas * compute;
     ledger_.reserve(best, request.arrival, request.end(), demand);
+    VNFR_CHECK(request.payment - best_price > 0.0,
+               "admitted request must have positive primal increment (Eq. 33)");
     deltas_.push_back(request.payment - best_price);  // Eq. 33
 
     // Dual update (Eq. 34) on the chosen cloudlet's window, against the
     // (possibly scaled) capacity.
     const double cap = instance_.network.cloudlet(best).capacity * dual_scale_;
+    VNFR_CHECK(cap > 0.0, "dual update capacity for cloudlet ", best.value);
     const double mult = 1.0 + demand / cap;
     const double add = demand * request.payment / (request.duration * cap);
     auto& lam = lambda_[best.index()];
     for (TimeSlot t = request.arrival; t < request.end(); ++t) {
         auto& value = lam[static_cast<std::size_t>(t)];
         value = value * mult + add;
+        // Eq. (34) is multiplicative with mult > 1 and add > 0, so lambda
+        // stays finite and monotonically non-negative.
+        VNFR_DCHECK(std::isfinite(value) && value >= 0.0, "Eq. (34) dual update for ",
+                    best.value, " slot ", t);
     }
 
     Decision d;

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 #include "vnf/reliability.hpp"
 
@@ -80,15 +81,15 @@ VerificationReport verify_schedule(const Instance& instance,
         }
 
         const double availability = [&] {
-            const double vnf_rel = instance.catalog.reliability(r.vnf);
+            const double vnf_rel = VNFR_CHECK_PROB(instance.catalog.reliability(r.vnf));
             double log_fail = 0.0;
             for (const Site& s : d.placement.sites) {
-                const double site_ok =
+                const double site_ok = VNFR_CHECK_PROB(
                     instance.network.cloudlet(s.cloudlet).reliability *
-                    common::at_least_one(vnf_rel, s.replicas);
+                    common::at_least_one(vnf_rel, s.replicas));
                 log_fail += common::log1m(site_ok);
             }
-            return common::one_minus_exp(log_fail);
+            return VNFR_CHECK_PROB(common::one_minus_exp(log_fail));
         }();
         if (availability < r.requirement - 1e-9) {
             std::ostringstream os;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace vnfr::edge {
 
 ResourceLedger::ResourceLedger(std::vector<double> capacities, TimeSlot horizon,
@@ -47,8 +49,17 @@ bool ResourceLedger::fits(CloudletId c, TimeSlot begin, TimeSlot end, double amo
 
 bool ResourceLedger::reserve(CloudletId c, TimeSlot begin, TimeSlot end, double amount) {
     check_range(c, begin, end, amount);
+    VNFR_CHECK_FINITE(amount);
     if (policy_ == CapacityPolicy::kEnforce && !fits(c, begin, end, amount)) return false;
-    for (TimeSlot t = begin; t < end; ++t) cell(c, t) += amount;
+    const double cap = capacities_[c.index()];
+    for (TimeSlot t = begin; t < end; ++t) {
+        cell(c, t) += amount;
+        // Constraint (4)/(9): an enforcing ledger must never end a reserve
+        // above capacity — fits() and this post-condition must agree.
+        VNFR_DCHECK(policy_ != CapacityPolicy::kEnforce || cell(c, t) <= cap + 1e-9,
+                    "cloudlet ", c.value, " slot ", t, " usage ", cell(c, t),
+                    " exceeds capacity ", cap);
+    }
     return true;
 }
 
@@ -58,6 +69,8 @@ void ResourceLedger::release(CloudletId c, TimeSlot begin, TimeSlot end, double 
         if (cell(c, t) < amount - 1e-9)
             throw std::logic_error("ResourceLedger::release: usage would go negative");
         cell(c, t) = std::max(0.0, cell(c, t) - amount);
+        VNFR_DCHECK(cell(c, t) >= 0.0, "cloudlet ", c.value, " slot ", t,
+                    " usage went negative after release");
     }
 }
 

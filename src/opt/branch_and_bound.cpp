@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace vnfr::opt {
 
 namespace {
@@ -95,6 +97,12 @@ IlpSolution solve_ilp(const LinearProgram& lp, const std::vector<std::size_t>& b
             exhausted = false;
             continue;
         }
+        VNFR_CHECK_FINITE(relax.objective);
+        // Best-first invariant: a child's LP relaxation can never beat the
+        // bound inherited from its parent (allowing simplex tolerance).
+        VNFR_DCHECK(relax.objective <= node.parent_bound + 1e-6,
+                    "child LP bound ", relax.objective, " above parent bound ",
+                    node.parent_bound);
         if (relax.objective <= incumbent + options.gap_tolerance) continue;
 
         const std::size_t branch_idx =
@@ -130,7 +138,7 @@ IlpSolution solve_ilp(const LinearProgram& lp, const std::vector<std::size_t>& b
         out.best_bound = -kInfinity;
         return out;
     }
-    out.best_bound = bound == kInfinity ? kInfinity : bound;
+    out.best_bound = bound;
     out.proven_optimal = exhausted && out.has_incumbent &&
                          (open.empty() ||
                           open.top().parent_bound <= incumbent + options.gap_tolerance);

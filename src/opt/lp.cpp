@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace vnfr::opt {
 
 std::size_t LinearProgram::add_variable(double objective, double upper, std::string name) {
@@ -58,7 +60,7 @@ double LinearProgram::objective_value(const std::vector<double>& x) const {
         throw std::invalid_argument("LinearProgram: solution size mismatch");
     double v = 0.0;
     for (std::size_t j = 0; j < x.size(); ++j) v += objective_[j] * x[j];
-    return v;
+    return VNFR_CHECK_FINITE(v);
 }
 
 double LinearProgram::max_violation(const std::vector<double>& x) const {
@@ -67,7 +69,7 @@ double LinearProgram::max_violation(const std::vector<double>& x) const {
     double worst = 0.0;
     for (std::size_t j = 0; j < x.size(); ++j) {
         worst = std::max(worst, lower_[j] - x[j]);
-        if (upper_[j] != kInfinity) worst = std::max(worst, x[j] - upper_[j]);
+        if (!std::isinf(upper_[j])) worst = std::max(worst, x[j] - upper_[j]);
     }
     for (const Row& r : rows_) {
         double lhs = 0.0;

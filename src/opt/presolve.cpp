@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace vnfr::opt {
 
 namespace {
@@ -100,7 +102,9 @@ PresolveResult presolve(const LinearProgram& lp) {
             std::size_t live_var = 0;
             double live_coeff = 0.0;
             for (const auto& [v, coeff] : row.terms) {
-                if (coeff != 0.0 && work.var_active[v]) {
+                // Exact sparsity test: fix_variable() zeroes coefficients
+                // literally, so tolerance would misclassify tiny live terms.
+                if (coeff != 0.0 && work.var_active[v]) {  // vnfr-lint: allow(float-eq)
                     ++live;
                     live_var = v;
                     live_coeff = coeff;
@@ -122,6 +126,8 @@ PresolveResult presolve(const LinearProgram& lp) {
             }
             if (live == 1) {
                 // Singleton row -> bound on the remaining variable.
+                VNFR_CHECK(live_coeff != 0.0,  // vnfr-lint: allow(float-eq)
+                           "singleton row with zero live coefficient");
                 const double bound = row.rhs / live_coeff;
                 Relation rel = row.relation;
                 if (live_coeff < 0.0) {
@@ -172,7 +178,9 @@ PresolveResult presolve(const LinearProgram& lp) {
         if (!row.active) continue;
         std::vector<std::pair<std::size_t, double>> terms;
         for (const auto& [v, coeff] : row.terms) {
-            if (coeff != 0.0 && work.var_active[v]) {
+            if (coeff != 0.0 && work.var_active[v]) {  // vnfr-lint: allow(float-eq)
+                VNFR_DCHECK(new_index[v] != static_cast<std::size_t>(-1),
+                            "active variable ", v, " missing from the reduced program");
                 terms.emplace_back(new_index[v], coeff);
             }
         }

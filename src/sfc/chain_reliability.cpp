@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 
 namespace vnfr::sfc {
@@ -27,7 +28,9 @@ double log_functions_ok(std::span<const double> vnf_rels, std::span<const int> r
     double log_ok = 0.0;
     for (std::size_t k = 0; k < vnf_rels.size(); ++k) {
         if (replicas[k] < 1) throw std::invalid_argument("chain: non-positive replicas");
-        log_ok += std::log(common::at_least_one(vnf_rels[k], replicas[k]));
+        const double p_ok = common::at_least_one(vnf_rels[k], replicas[k]);
+        VNFR_CHECK(p_ok > 0.0, "function ", k, " success probability for log");
+        log_ok += std::log(p_ok);
     }
     return log_ok;
 }
@@ -67,6 +70,8 @@ std::optional<std::vector<int>> min_chain_replicas(double cloudlet_rel,
         for (std::size_t i = 0; i < k; ++i) {
             const double before = common::at_least_one(vnf_rels[i], replicas[i]);
             const double after = common::at_least_one(vnf_rels[i], replicas[i] + 1);
+            VNFR_CHECK(before > 0.0 && after > 0.0, "replica gain log operands for function ",
+                       i);
             const double score = (std::log(after) - std::log(before)) / compute_units[i];
             if (score > best_score) {
                 best_score = score;

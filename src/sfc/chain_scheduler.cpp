@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/math.hpp"
 #include "sfc/chain_reliability.hpp"
 #include "vnf/reliability.hpp"
 
@@ -155,7 +156,7 @@ ChainGreedy::ChainGreedy(const core::Instance& instance)
               [&](CloudletId a, CloudletId b) {
                   const double ra = instance.network.cloudlet(a).reliability;
                   const double rb = instance.network.cloudlet(b).reliability;
-                  if (ra != rb) return ra > rb;
+                  if (!common::almost_equal(ra, rb)) return ra > rb;
                   return a < b;
               });
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace vnfr::sim {
 
 AvailabilityProcess::AvailabilityProcess(const core::Instance& instance,
@@ -27,6 +29,8 @@ AvailabilityProcess::Chain AvailabilityProcess::make_chain(double reliability, d
     // Clamp: extremely unreliable components with short repair could push
     // p_fail above 1; treat as "fails every slot it is up".
     if (chain.p_fail > 1.0) chain.p_fail = 1.0;
+    VNFR_CHECK_PROB(chain.p_repair);
+    VNFR_CHECK_PROB(chain.p_fail);
     chain.up = rng_.bernoulli(reliability);  // start in steady state
     return chain;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 
 namespace vnfr::sim {
@@ -10,18 +11,18 @@ namespace vnfr::sim {
 double analytic_availability(const core::Instance& instance,
                              const workload::Request& request,
                              const core::Placement& placement) {
-    const double vnf_rel = instance.catalog.reliability(request.vnf);
+    const double vnf_rel = VNFR_CHECK_PROB(instance.catalog.reliability(request.vnf));
     double log_all_fail = 0.0;
     for (const core::Site& site : placement.sites) {
         if (site.replicas <= 0)
             throw std::invalid_argument("analytic_availability: non-positive replicas");
-        const double site_ok =
+        const double site_ok = VNFR_CHECK_PROB(
             instance.network.cloudlet(site.cloudlet).reliability *
-            common::at_least_one(vnf_rel, site.replicas);
+            common::at_least_one(vnf_rel, site.replicas));
         log_all_fail += common::log1m(site_ok);
     }
     if (placement.sites.empty()) return 0.0;
-    return common::one_minus_exp(log_all_fail);
+    return VNFR_CHECK_PROB(common::one_minus_exp(log_all_fail));
 }
 
 bool sample_served(const core::Instance& instance, const workload::Request& request,
@@ -45,7 +46,7 @@ double monte_carlo_availability(const core::Instance& instance,
     for (std::size_t i = 0; i < trials; ++i) {
         if (sample_served(instance, request, placement, rng)) ++served;
     }
-    return static_cast<double>(served) / static_cast<double>(trials);
+    return VNFR_CHECK_PROB(static_cast<double>(served) / static_cast<double>(trials));
 }
 
 }  // namespace vnfr::sim

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "sim/failure_model.hpp"
 
 namespace vnfr::sim {
@@ -55,7 +56,8 @@ PlacementStats placement_stats(const core::Instance& instance,
             }
         }
 
-        const double avail = analytic_availability(instance, instance.requests[i], d.placement);
+        const double avail =
+            VNFR_CHECK_PROB(analytic_availability(instance, instance.requests[i], d.placement));
         availability += avail;
         stats.min_slack = std::min(stats.min_slack, avail - instance.requests[i].requirement);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
 #include "sim/failure_model.hpp"
 
 namespace vnfr::sim {
@@ -9,7 +10,8 @@ namespace vnfr::sim {
 double SimulationReport::empirical_availability() const {
     const std::size_t total = served_request_slots + disrupted_request_slots;
     if (total == 0) return 0.0;
-    return static_cast<double>(served_request_slots) / static_cast<double>(total);
+    return VNFR_CHECK_PROB(static_cast<double>(served_request_slots) /
+                           static_cast<double>(total));
 }
 
 SimulationReport simulate(const core::Instance& instance, core::OnlineScheduler& scheduler,
@@ -66,8 +68,11 @@ SimulationReport simulate(const core::Instance& instance, core::OnlineScheduler&
         double util = 0.0;
         for (std::size_t j = 0; j < ledger.cloudlet_count(); ++j) {
             const CloudletId c{static_cast<std::int64_t>(j)};
+            VNFR_DCHECK(ledger.usage(c, t) >= 0.0, "ledger usage went negative at cloudlet ",
+                        j, " slot ", t);
             util += ledger.usage(c, t) / ledger.capacity(c);
         }
+        VNFR_CHECK_FINITE(util);
         record.mean_utilization =
             ledger.cloudlet_count() == 0 ? 0.0
                                          : util / static_cast<double>(ledger.cloudlet_count());

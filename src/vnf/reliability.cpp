@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/math.hpp"
 
 namespace vnfr::vnf {
@@ -23,8 +24,11 @@ std::optional<int> min_onsite_replicas(double cloudlet_rel, double vnf_rel,
     // reliability: P(A) -> r(c) as N -> inf (Eq. 2).
     if (cloudlet_rel <= requirement) return std::nullopt;
 
-    // Closed form (Eq. 3): N = ceil( ln(1 - R/r_c) / ln(1 - r_f) ).
-    const double target = 1.0 - requirement / cloudlet_rel;  // in (0, 1)
+    // Closed form (Eq. 3): N = ceil( ln(1 - R/r_c) / ln(1 - r_f) ). The
+    // r(c_j) > R_i guard above keeps the log argument inside (0, 1).
+    const double target = 1.0 - requirement / cloudlet_rel;
+    VNFR_CHECK(target > 0.0 && target < 1.0, "Eq. (3) log argument with r_c=",
+               cloudlet_rel, " R=", requirement);
     const double n_real = std::log(target) / common::log1m(vnf_rel);
     int n = std::max(1, static_cast<int>(std::ceil(n_real - 1e-12)));
 

@@ -115,6 +115,55 @@ TEST(VerifySchedule, DetectsReliabilityShortfall) {
                               ScheduleViolation::Kind::kReliabilityNotMet));
 }
 
+TEST(VerifySchedule, CapacityToleranceRelaxesExactlyToTheBound) {
+    // Capacity 3, one site with 2 replicas x 2 units = 4 per slot: a load
+    // factor of 4/3. Tolerances below it must flag (6)/(9); tolerances at
+    // or above it (the Lemma 8 xi regime) must accept the same schedule.
+    const Instance inst = small_instance({0.99}, 3.0, 5, {make_request(0, 1, 0.9, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{0}, 2}}};
+
+    const VerificationReport strict = verify_schedule(inst, decisions, 1.0);
+    EXPECT_TRUE(has_violation(strict, ScheduleViolation::Kind::kCapacityExceeded));
+    const VerificationReport below = verify_schedule(inst, decisions, 4.0 / 3.0 - 0.01);
+    EXPECT_TRUE(has_violation(below, ScheduleViolation::Kind::kCapacityExceeded));
+
+    const VerificationReport at_bound = verify_schedule(inst, decisions, 4.0 / 3.0);
+    EXPECT_FALSE(has_violation(at_bound, ScheduleViolation::Kind::kCapacityExceeded));
+    const VerificationReport above = verify_schedule(inst, decisions, 2.0);
+    EXPECT_TRUE(above.ok());
+    // The load factor itself is reported against the *unrelaxed* capacity
+    // regardless of tolerance.
+    EXPECT_NEAR(above.max_load_factor, 4.0 / 3.0, 1e-12);
+}
+
+TEST(VerifySchedule, ToleranceDoesNotMaskOtherViolationKinds) {
+    // A generous capacity tolerance must not excuse reliability shortfalls
+    // or malformed placements.
+    const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.95, 0, 2, 5.0)});
+    std::vector<Decision> decisions(1);
+    decisions[0].admitted = true;
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{0}, 1}}};
+    const VerificationReport report = verify_schedule(inst, decisions, 100.0);
+    EXPECT_TRUE(has_violation(report, ScheduleViolation::Kind::kReliabilityNotMet));
+}
+
+TEST(VerifySchedule, ReportAccumulatesRevenueAndAdmitted) {
+    const Instance inst = small_instance(
+        {0.99}, 50.0, 5,
+        {make_request(0, 0, 0.9, 0, 2, 5.0), make_request(1, 0, 0.9, 1, 2, 7.5)});
+    std::vector<Decision> decisions(2);
+    decisions[0].admitted = true;
+    decisions[0].placement = Placement{RequestId{0}, {Site{CloudletId{0}, 2}}};
+    decisions[1].admitted = true;
+    decisions[1].placement = Placement{RequestId{1}, {Site{CloudletId{0}, 2}}};
+    const VerificationReport report = verify_schedule(inst, decisions);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.admitted, 2u);
+    EXPECT_DOUBLE_EQ(report.revenue, 12.5);
+}
+
 TEST(VerifySchedule, RejectionIsAlwaysClean) {
     const Instance inst = small_instance({0.99}, 10.0, 5, {make_request(0, 0, 0.9, 0, 2, 5.0)});
     std::vector<Decision> decisions(1);  // rejected by default

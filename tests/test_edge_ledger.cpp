@@ -189,7 +189,7 @@ TEST(ResourceLedger, CapacityAccessor) {
     const auto ledger = make_enforcing();
     EXPECT_DOUBLE_EQ(ledger.capacity(CloudletId{0}), 10.0);
     EXPECT_DOUBLE_EQ(ledger.capacity(CloudletId{1}), 20.0);
-    EXPECT_THROW(ledger.capacity(CloudletId{9}), std::invalid_argument);
+    EXPECT_THROW((void)ledger.capacity(CloudletId{9}), std::invalid_argument);
 }
 
 }  // namespace

@@ -103,8 +103,8 @@ TEST(MecNetwork, HopDistanceOnRing) {
 TEST(MecNetwork, CloudletLookupValidation) {
     MecNetwork mec(net::ring(4));
     mec.add_cloudlet(NodeId{0}, 10.0, 0.9);
-    EXPECT_THROW(mec.cloudlet(CloudletId{5}), std::out_of_range);
-    EXPECT_THROW(mec.cloudlet_at(NodeId{9}), std::invalid_argument);
+    EXPECT_THROW((void)mec.cloudlet(CloudletId{5}), std::out_of_range);
+    EXPECT_THROW((void)mec.cloudlet_at(NodeId{9}), std::invalid_argument);
 }
 
 }  // namespace

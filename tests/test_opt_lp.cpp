@@ -52,7 +52,7 @@ TEST(LinearProgram, ObjectiveValue) {
     lp.add_variable(3.0);
     lp.add_variable(-2.0);
     EXPECT_DOUBLE_EQ(lp.objective_value({2.0, 1.0}), 4.0);
-    EXPECT_THROW(lp.objective_value({1.0}), std::invalid_argument);
+    EXPECT_THROW((void)lp.objective_value({1.0}), std::invalid_argument);
 }
 
 TEST(LinearProgram, MaxViolationFeasiblePoint) {

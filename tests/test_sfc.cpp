@@ -49,7 +49,9 @@ TEST(MinChainReplicas, SingleFunctionMatchesEquation3) {
                 const auto single = vnf::min_onsite_replicas(rc, rf, req);
                 ASSERT_EQ(chain.has_value(), single.has_value())
                     << rc << ' ' << rf << ' ' << req;
-                if (chain) EXPECT_EQ((*chain)[0], *single);
+                if (chain) {
+                    EXPECT_EQ((*chain)[0], *single);
+                }
             }
         }
     }

@@ -34,8 +34,8 @@ TEST(Catalog, RejectsBadEntries) {
 TEST(Catalog, GetUnknownThrows) {
     Catalog cat;
     cat.add("a", 1.0, 0.9);
-    EXPECT_THROW(cat.get(VnfTypeId{5}), std::out_of_range);
-    EXPECT_THROW(cat.get(VnfTypeId{}), std::out_of_range);
+    EXPECT_THROW((void)cat.get(VnfTypeId{5}), std::out_of_range);
+    EXPECT_THROW((void)cat.get(VnfTypeId{}), std::out_of_range);
 }
 
 TEST(Catalog, PaperDefaultMatchesSectionVI) {

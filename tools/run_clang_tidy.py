@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over every translation unit in src/ using the build
+tree's compile_commands.json.
+
+Registered as the ``clang_tidy_src`` ctest entry. Exits 77 (ctest SKIP)
+when clang-tidy or the compilation database is unavailable, so the suite
+stays runnable in minimal containers; CI installs clang-tidy and treats
+findings as failures (.clang-tidy sets WarningsAsErrors: '*').
+
+Usage: run_clang_tidy.py <source-dir> <build-dir> [extra clang-tidy args...]
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source_dir = Path(argv[1]).resolve()
+    build_dir = Path(argv[2]).resolve()
+    extra = argv[3:]
+
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH; skipping")
+        return SKIP
+    database = build_dir / "compile_commands.json"
+    if not database.is_file():
+        print(f"run_clang_tidy: {database} missing; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON; skipping")
+        return SKIP
+
+    with open(database, encoding="utf-8") as f:
+        entries = json.load(f)
+    src_prefix = (source_dir / "src").as_posix()
+    files = sorted({
+        e["file"] for e in entries
+        if Path(e["file"]).as_posix().startswith(src_prefix)
+    })
+    if not files:
+        print("run_clang_tidy: no src/ translation units in the database")
+        return SKIP
+
+    jobs = max(1, multiprocessing.cpu_count() - 1)
+    failures = 0
+    # Chunk the file list across sequential clang-tidy invocations with -j
+    # worth of files each; clang-tidy itself is single-threaded per TU.
+    procs: list[tuple[str, subprocess.Popen]] = []
+
+    def drain(limit: int) -> None:
+        nonlocal failures
+        while len(procs) > limit:
+            name, proc = procs.pop(0)
+            out, _ = proc.communicate()
+            if proc.returncode != 0:
+                failures += 1
+                sys.stdout.write(out)
+                print(f"run_clang_tidy: FAILED {name}")
+
+    for path in files:
+        procs.append((path, subprocess.Popen(
+            [tidy, "-p", str(build_dir), "--quiet", *extra, path],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)))
+        drain(jobs)
+    drain(0)
+
+    print(f"run_clang_tidy: {len(files)} files, {failures} with findings")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint for the vnfr source tree.
+
+Enforces rules no generic linter knows about, tuned to the reliability
+arithmetic in this codebase:
+
+  float-eq      No raw ``==``/``!=`` between doubles in src/. Exact
+                floating-point comparison silently misbehaves in the
+                availability products; use ``common::almost_equal`` (or
+                restructure). Deliberate exact tests (sparsity checks on
+                literally-zeroed coefficients, rejection-sampling loops)
+                carry a ``// vnfr-lint: allow(float-eq)`` suppression.
+
+  math-domain   ``std::log``/``std::log2``/``std::log10``/``std::pow``
+                outside ``src/vnf/reliability.*`` and ``src/common/math.*``
+                must have a ``VNFR_CHECK``/``VNFR_DCHECK`` guarding the
+                operand's domain within the preceding few lines. A log of a
+                non-positive value yields NaN, not a crash, and the NaN
+                surfaces far from its origin.
+
+  header-guard  Every header under src/ starts with ``#pragma once``.
+
+  namespace     Every src/ file declares ``namespace vnfr...`` and closes
+                it with a ``}  // namespace`` trailer comment.
+
+  using-std     ``using namespace std;`` is banned everywhere under src/.
+
+Exit status: 0 when clean, 1 with findings (one per line, grep-friendly
+``path:line: rule: message``). Run directly or via the ``vnfr_lint`` ctest.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS_TAG = "vnfr-lint: allow(float-eq)"
+
+# Files where the log/pow domain is the module's own concern: the stable
+# wrappers themselves.
+MATH_DOMAIN_EXEMPT = ("src/common/math.", "src/vnf/reliability.")
+
+# std::log1p/std::expm1 are the *stable* helpers and are exempt; match only
+# the raw calls whose domain can silently produce NaN.
+RAW_MATH_CALL = re.compile(r"\bstd::(log|log2|log10|pow)\s*\(")
+
+FLOAT_LITERAL = r"(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)"
+FLOAT_LITERAL_CMP = re.compile(
+    rf"(?:{FLOAT_LITERAL}\s*[=!]=)|(?:[=!]=\s*[+-]?{FLOAT_LITERAL})"
+)
+
+DOUBLE_DECL = re.compile(r"\bdouble\s+(\w+)\s*(?:=|;|,|\)|\{)")
+
+GUARD_WINDOW = 4  # lines above a raw math call searched for a VNFR_CHECK
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals so the
+    pattern rules do not fire inside prose or formatted messages."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    findings: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    raw_lines = text.splitlines()
+    code_lines = [strip_comments_and_strings(l) for l in raw_lines]
+
+    # --- header-guard / namespace conventions -------------------------------
+    if rel.endswith(".hpp") and "#pragma once" not in text:
+        findings.append(f"{rel}:1: header-guard: header lacks '#pragma once'")
+    if not re.search(r"\bnamespace\s+vnfr\b", text):
+        findings.append(f"{rel}:1: namespace: file does not open 'namespace vnfr...'")
+    elif not re.search(r"\}\s*//\s*namespace", text):
+        findings.append(
+            f"{rel}:1: namespace: closing brace lacks '}}  // namespace' comment"
+        )
+
+    # Identifiers declared double in this file, for the identifier-vs-
+    # identifier comparison heuristic.
+    double_names = set(DOUBLE_DECL.findall(text))
+    ident_cmp = None
+    if double_names:
+        joined = "|".join(re.escape(n) for n in sorted(double_names))
+        ident_cmp = re.compile(rf"\b({joined})\s*[=!]=\s*({joined})\b")
+
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+        raw = raw_lines[idx]
+        prev_raw = raw_lines[idx - 1] if idx > 0 else ""
+
+        # --- using-std ------------------------------------------------------
+        if re.search(r"\busing\s+namespace\s+std\b", code):
+            findings.append(f"{rel}:{lineno}: using-std: 'using namespace std' is banned")
+
+        # --- float-eq -------------------------------------------------------
+        suppressed = SUPPRESS_TAG in raw or SUPPRESS_TAG in prev_raw
+        hit = FLOAT_LITERAL_CMP.search(code)
+        if not hit and ident_cmp is not None:
+            hit = ident_cmp.search(code)
+        if hit and not suppressed:
+            findings.append(
+                f"{rel}:{lineno}: float-eq: raw ==/!= on double "
+                f"('{hit.group(0).strip()}'); use common::almost_equal or add "
+                f"'// {SUPPRESS_TAG}' with a justification"
+            )
+
+        # --- math-domain ----------------------------------------------------
+        if rel.startswith(MATH_DOMAIN_EXEMPT):
+            continue
+        call = RAW_MATH_CALL.search(code)
+        if call:
+            window_start = max(0, idx - GUARD_WINDOW)
+            window = "\n".join(raw_lines[window_start : idx + 1])
+            if "VNFR_CHECK" not in window and "VNFR_DCHECK" not in window:
+                findings.append(
+                    f"{rel}:{lineno}: math-domain: std::{call.group(1)} without a "
+                    f"VNFR_CHECK/VNFR_DCHECK guarding the operand within the "
+                    f"previous {GUARD_WINDOW} lines"
+                )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"vnfr_lint: no src/ directory under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"vnfr_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("vnfr_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
