@@ -24,9 +24,11 @@ int main() {
         bench::quick_mode() ? std::vector<double>{2, 8} : std::vector<double>{1, 2, 4, 8, 16};
 
     std::cout << "== Ablation: failover dynamics vs cloudlet repair time ==\n\n";
+    bench::print_thread_note();
     report::Table table({"cloudlet MTTR", "scheme", "availability", "outages/1k slots",
                          "local failovers/1k", "remote failovers/1k"});
 
+    const std::uint64_t master = bench::scenario_seed("ablation-failover-dynamics", 0);
     for (const double mttr : mttrs) {
         struct Agg {
             common::RunningStats availability, outages, local, remote;
@@ -36,24 +38,28 @@ int main() {
         Agg hybrid_agg;
 
         for (std::size_t s = 0; s < seeds; ++s) {
-            common::Rng rng(7000 + s);
+            common::Rng rng = common::stream_rng(master, s);
             const core::Instance inst =
                 core::make_instance(bench::paper_environment(requests), rng);
 
             const auto study = [&](core::OnlineScheduler& scheduler, Agg& agg) {
                 const core::ScheduleResult result = core::run_online(inst, scheduler);
-                sim::FailoverConfig cfg;
-                cfg.cloudlet_mttr_slots = mttr;
-                cfg.seed = 7000 + s;
-                const sim::FailoverReport report =
-                    sim::run_failover_study(inst, result.decisions, cfg);
+                // Several failure-process replications of the same schedule,
+                // fanned out over the thread pool; deterministic for any
+                // VNFR_THREADS by the counter-based stream seeding.
+                sim::FailoverStudyConfig cfg;
+                cfg.process.cloudlet_mttr_slots = mttr;
+                cfg.replications = bench::quick_mode() ? 2 : 4;
+                cfg.master_seed = common::stream_seed(master, 1000 + s);
+                const sim::FailoverStudyOutcome out =
+                    sim::run_failover_replications(inst, result.decisions, cfg);
                 const double per_k =
                     1000.0 /
-                    static_cast<double>(std::max<std::size_t>(1, report.request_slots));
-                agg.availability.add(report.availability());
-                agg.outages.add(static_cast<double>(report.outages) * per_k);
-                agg.local.add(static_cast<double>(report.local_failovers) * per_k);
-                agg.remote.add(static_cast<double>(report.remote_failovers) * per_k);
+                    static_cast<double>(std::max<std::size_t>(1, out.total.request_slots));
+                agg.availability.add(out.availability.mean());
+                agg.outages.add(static_cast<double>(out.total.outages) * per_k);
+                agg.local.add(static_cast<double>(out.total.local_failovers) * per_k);
+                agg.remote.add(static_cast<double>(out.total.remote_failovers) * per_k);
             };
             core::OnsitePrimalDual onsite(inst);
             study(onsite, onsite_agg);

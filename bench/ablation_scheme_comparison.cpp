@@ -37,15 +37,16 @@ int main() {
     Row hybrid_row;
     common::RunningStats hybrid_onsite_share;
 
+    const std::uint64_t master = bench::scenario_seed("ablation-scheme-comparison", 0);
     for (std::size_t s = 0; s < seeds; ++s) {
-        common::Rng rng(6000 + s);
+        common::Rng rng = common::stream_rng(master, s);
         const core::Instance inst =
             core::make_instance(bench::paper_environment(requests), rng);
 
         const auto measure = [&](core::OnlineScheduler& scheduler, Row& row) {
             sim::SimulatorConfig sim_cfg;
             sim_cfg.inject_failures = true;
-            sim_cfg.failure_seed = 6000 + s;
+            sim_cfg.failure_seed = common::stream_seed(master, 1000 + s);
             const sim::SimulationReport report = sim::simulate(inst, scheduler, sim_cfg);
             const sim::PlacementStats stats =
                 sim::placement_stats(inst, report.schedule.decisions);

@@ -19,11 +19,12 @@ int main() {
     std::cout << "== Ablation: SFC (chain) scheduling, revenue vs number of chains ==\n\n";
     report::Table table({"chains", "chain-primal-dual", "chain-greedy", "improvement"});
 
+    const std::uint64_t master = bench::scenario_seed("ablation-sfc-chains", 0);
     for (const std::size_t n : sweep) {
         common::RunningStats pd_stat;
         common::RunningStats greedy_stat;
         for (std::size_t s = 0; s < seeds; ++s) {
-            common::Rng rng(8000 + s);
+            common::Rng rng = common::stream_rng(master, s);
             core::InstanceConfig env = bench::paper_environment(0);
             env.workload.count = 0;
             const core::Instance inst = core::make_instance(env, rng);

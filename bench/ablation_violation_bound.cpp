@@ -27,6 +27,7 @@ int main() {
     report::Table table({"capacity", "xi (bound)", "measured peak load", "revenue (pure)",
                          "revenue (checked)", "revenue cost of checking"});
 
+    const std::uint64_t master = bench::scenario_seed("ablation-violation-bound", 0);
     for (const double cap : capacities) {
         common::RunningStats peak_load;
         common::RunningStats xi_stat;
@@ -36,7 +37,7 @@ int main() {
             core::InstanceConfig env = bench::paper_environment(requests);
             env.cloudlets.capacity_min = cap;
             env.cloudlets.capacity_max = cap;
-            common::Rng rng(5000 + s);
+            common::Rng rng = common::stream_rng(master, s);
             const core::Instance inst = core::make_instance(env, rng);
 
             core::OnsitePrimalDual pure(inst, {.enforce_capacity = false});

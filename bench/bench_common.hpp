@@ -3,51 +3,62 @@
 // Section VI of the paper: a real topology with randomly attached
 // cloudlets, 10 VNF types (reliability 0.9-0.9999, demand 1-3 units),
 // requests with random requirements/payments, revenue averaged over seeds.
-// Capacities are sized so the network saturates toward the right end of
-// the request sweep — the regime where the algorithms separate.
+// The environment itself lives in src/sim/scenarios.{hpp,cpp} so the
+// golden regression tests pin down exactly what the benches sweep.
+//
+// Seeding contract: every scenario's master seed comes from
+// scenario_seed(bench name, scenario index) — a pure function routed
+// through the counter-based RNG streams in common/rng.hpp. Re-running a
+// bench therefore reproduces it bit-for-bit, at any VNFR_THREADS setting.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/instance.hpp"
 #include "report/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/scenarios.hpp"
 
 namespace vnfr::bench {
 
 /// True when VNFR_BENCH_QUICK is set: shrinks sweeps for smoke runs.
 inline bool quick_mode() { return std::getenv("VNFR_BENCH_QUICK") != nullptr; }
 
-/// The paper's evaluation environment with the request count as the free
-/// parameter (Figure 1 sweeps it; Figure 2 fixes it at the saturated end).
+/// The paper's evaluation environment (see sim::paper_environment).
 inline core::InstanceConfig paper_environment(std::size_t request_count) {
-    core::InstanceConfig cfg;
-    cfg.topology = "geant";
-    cfg.cloudlets.count = 8;
-    // Capacities large relative to a single placement's demand (the regime
-    // of the primal-dual analysis: cap >> a) but small enough that the
-    // network is ~2.5x over-subscribed at n = 800, where the admission
-    // policies separate.
-    cfg.cloudlets.capacity_min = 40;
-    cfg.cloudlets.capacity_max = 60;
-    cfg.cloudlets.reliability_min = 0.95;
-    cfg.cloudlets.reliability_max = 0.999;
-    cfg.workload.horizon = 24;
-    cfg.workload.count = request_count;
-    cfg.workload.duration_min = 4;
-    cfg.workload.duration_max = 16;
-    cfg.workload.requirement_min = 0.90;
-    cfg.workload.requirement_max = 0.97;
-    cfg.workload.payment_rate_min = 1.0;
-    cfg.workload.payment_rate_max = 5.0;
-    return cfg;
+    return sim::paper_environment(request_count);
 }
 
 inline sim::InstanceFactory make_factory(core::InstanceConfig cfg) {
-    return [cfg](common::Rng& rng) { return core::make_instance(cfg, rng); };
+    return sim::make_config_factory(std::move(cfg));
+}
+
+/// Deterministic master seed for scenario `scenario` of the named bench:
+/// an FNV-1a hash of the name fed into the counter-based stream hash.
+/// Never derived from wall clock or run order, so bench output is
+/// reproducible run-to-run and scenario seeds never collide across benches.
+inline std::uint64_t scenario_seed(std::string_view bench_name, std::uint64_t scenario) {
+    std::uint64_t name_hash = 0xcbf29ce484222325ULL;
+    for (const char c : bench_name) {
+        name_hash ^= static_cast<unsigned char>(c);
+        name_hash *= 0x100000001b3ULL;
+    }
+    return common::stream_seed(name_hash, scenario);
+}
+
+/// One line recording the replication parallelism, so saved bench logs are
+/// attributable to a thread configuration.
+inline void print_thread_note() {
+    std::cout << "threads: " << common::ThreadPool::default_thread_count()
+              << " (override with VNFR_THREADS; results are thread-count-invariant)\n\n";
 }
 
 /// One row of a figure series: the swept x plus per-algorithm outcomes.

@@ -17,12 +17,13 @@ int main() {
     const std::vector<sim::Algorithm> algorithms{sim::Algorithm::kOnsitePrimalDual,
                                                  sim::Algorithm::kOnsiteGreedy};
 
+    bench::print_thread_note();
     std::vector<bench::SeriesRow> rows;
     for (const std::size_t n : sweep) {
         sim::ExperimentConfig cfg;
         cfg.algorithms = algorithms;
         cfg.seeds = bench::quick_mode() ? 2 : 5;
-        cfg.base_seed = 1000;
+        cfg.base_seed = bench::scenario_seed("fig1a", n);
         cfg.compute_offline = true;
         cfg.offline_scheme = core::Scheme::kOnsite;
         cfg.offline.run_ilp = false;  // LP relaxation bound (upper bound on OPT)

@@ -16,6 +16,7 @@ int main() {
     const std::vector<sim::Algorithm> algorithms{sim::Algorithm::kOffsitePrimalDual,
                                                  sim::Algorithm::kOffsiteGreedy};
 
+    bench::print_thread_note();
     std::vector<bench::SeriesRow> rows;
     for (const std::size_t n : sweep) {
         const auto factory = bench::make_factory(bench::paper_environment(n));
@@ -23,7 +24,7 @@ int main() {
         sim::ExperimentConfig online_cfg;
         online_cfg.algorithms = algorithms;
         online_cfg.seeds = bench::quick_mode() ? 2 : 5;
-        online_cfg.base_seed = 2000;
+        online_cfg.base_seed = bench::scenario_seed("fig1b", n);
         sim::ExperimentOutcome outcome = sim::run_experiment(factory, online_cfg);
 
         // The off-site LP is an order of magnitude bigger than the on-site
@@ -32,7 +33,7 @@ int main() {
         sim::ExperimentConfig offline_cfg;
         offline_cfg.algorithms = {sim::Algorithm::kOffsiteGreedy};  // ignored, cheap
         offline_cfg.seeds = 2;
-        offline_cfg.base_seed = 2000;
+        offline_cfg.base_seed = bench::scenario_seed("fig1b", n);
         offline_cfg.compute_offline = true;
         offline_cfg.offline_scheme = core::Scheme::kOffsite;
         offline_cfg.offline.run_ilp = false;

@@ -22,15 +22,17 @@ int main() {
         sim::Algorithm::kOnsitePrimalDual, sim::Algorithm::kOnsiteGreedy,
         sim::Algorithm::kOffsitePrimalDual, sim::Algorithm::kOffsiteGreedy};
 
+    bench::print_thread_note();
     std::vector<bench::SeriesRow> rows;
-    for (const double h : sweep) {
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const double h = sweep[i];
         core::InstanceConfig env = bench::paper_environment(requests);
         env.workload.set_payment_ratio(h);
 
         sim::ExperimentConfig cfg;
         cfg.algorithms = algorithms;
         cfg.seeds = bench::quick_mode() ? 2 : 5;
-        cfg.base_seed = 3000;
+        cfg.base_seed = bench::scenario_seed("fig2a", i);
         rows.push_back({h, sim::run_experiment(bench::make_factory(env), cfg)});
     }
     bench::print_series("Figure 2(a): revenue vs payment-rate ratio H (n = " +

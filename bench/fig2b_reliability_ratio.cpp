@@ -26,8 +26,10 @@ int main() {
         sim::Algorithm::kOffsitePrimalDual, sim::Algorithm::kOffsiteGreedy,
         sim::Algorithm::kOnsitePrimalDual, sim::Algorithm::kOnsiteGreedy};
 
+    bench::print_thread_note();
     std::vector<bench::SeriesRow> rows;
-    for (const double k : sweep) {
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const double k = sweep[i];
         core::InstanceConfig env = bench::paper_environment(requests);
         env.cloudlets.reliability_max = 0.999;
         env.set_reliability_ratio(k);
@@ -39,7 +41,7 @@ int main() {
         sim::ExperimentConfig cfg;
         cfg.algorithms = algorithms;
         cfg.seeds = bench::quick_mode() ? 2 : 5;
-        cfg.base_seed = 4000;
+        cfg.base_seed = bench::scenario_seed("fig2b", i);
         rows.push_back({k * 100.0, sim::run_experiment(bench::make_factory(env), cfg)});
     }
     bench::print_series("Figure 2(b): revenue vs cloudlet-reliability ratio K (x100, n = " +

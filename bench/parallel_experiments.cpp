@@ -1,0 +1,137 @@
+// Thread-scaling bench for the parallel Monte-Carlo experiment engine.
+//
+// Runs the Figure 1(a) sweep (on-site primal-dual vs greedy, request count
+// swept) once per thread count, measuring wall clock and asserting that
+// the aggregated metrics checksum is bit-identical at every thread count —
+// the engine's determinism contract, checked on the real workload, not
+// just the unit tests. Emits a machine-readable JSON artifact:
+//
+//   BENCH_parallel_experiments.json
+//     { sweep, seeds, thread_counts, results: [ {threads, seconds,
+//       speedup_vs_serial, checksum} ], checksums_identical, ... }
+//
+// Usage: parallel_experiments [output.json]
+//   VNFR_BENCH_QUICK=1  shrink the sweep for smoke/CI runs
+//   VNFR_THREADS        does NOT apply here: thread counts are swept
+//                       explicitly so the artifact records the scaling curve.
+//
+// Exit status is nonzero when any thread count produced a different
+// checksum, so CI fails loudly on a determinism regression.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "report/json.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace vnfr;
+
+namespace {
+
+struct ThreadResult {
+    std::size_t threads{0};
+    double seconds{0};
+    std::uint64_t checksum{0};
+    double revenue_sum{0};  ///< summed admitted revenue over the whole sweep
+};
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_parallel_experiments.json");
+
+    const std::vector<std::size_t> sweep =
+        bench::quick_mode() ? std::vector<std::size_t>{100, 200}
+                            : std::vector<std::size_t>{100, 200, 300, 400,
+                                                       500, 600, 700, 800};
+    const std::size_t seeds = bench::quick_mode() ? 4 : 8;
+    const std::vector<sim::Algorithm> algorithms{sim::Algorithm::kOnsitePrimalDual,
+                                                 sim::Algorithm::kOnsiteGreedy};
+    std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+    std::cout << "== Parallel experiment engine: fig1a sweep vs thread count ==\n"
+              << "hardware threads: " << std::thread::hardware_concurrency() << "\n\n";
+
+    const auto run_sweep = [&](std::size_t threads) {
+        ThreadResult r;
+        r.threads = threads;
+        const auto start = std::chrono::steady_clock::now();
+        for (const std::size_t n : sweep) {
+            sim::ExperimentConfig cfg;
+            cfg.algorithms = algorithms;
+            cfg.seeds = seeds;
+            cfg.base_seed = bench::scenario_seed("fig1a", n);
+            cfg.threads = threads;
+            const sim::ExperimentOutcome outcome =
+                sim::run_experiment(bench::make_factory(bench::paper_environment(n)), cfg);
+            // Order-sensitive fold over sweep points: any metric drift at
+            // any point changes the final checksum.
+            r.checksum = common::stream_seed(r.checksum, sim::metrics_checksum(outcome));
+            for (const auto& alg : outcome.per_algorithm) r.revenue_sum += alg.revenue.sum();
+        }
+        r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                        .count();
+        return r;
+    };
+
+    std::vector<ThreadResult> results;
+    results.reserve(thread_counts.size());
+    for (const std::size_t t : thread_counts) {
+        results.push_back(run_sweep(t));
+        const ThreadResult& r = results.back();
+        std::cout << "threads=" << r.threads << "  wall=" << r.seconds << "s"
+                  << "  speedup=" << results.front().seconds / r.seconds
+                  << "  checksum=" << hex64(r.checksum) << '\n';
+    }
+
+    bool identical = true;
+    for (const ThreadResult& r : results) {
+        identical = identical && r.checksum == results.front().checksum;
+    }
+    std::cout << (identical ? "\nmetrics bit-identical across all thread counts\n"
+                            : "\nDETERMINISM VIOLATION: checksums differ\n");
+
+    report::JsonValue doc = report::JsonValue::object();
+    doc.set("bench", "parallel_experiments");
+    doc.set("workload", "fig1a revenue sweep (onsite primal-dual + greedy)");
+    doc.set("quick_mode", bench::quick_mode());
+    doc.set("hardware_concurrency",
+            static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    report::JsonValue sweep_json = report::JsonValue::array();
+    for (const std::size_t n : sweep) sweep_json.push(n);
+    doc.set("sweep_requests", std::move(sweep_json));
+    doc.set("seeds_per_point", seeds);
+    report::JsonValue results_json = report::JsonValue::array();
+    for (const ThreadResult& r : results) {
+        report::JsonValue row = report::JsonValue::object();
+        row.set("threads", r.threads);
+        row.set("wall_seconds", r.seconds);
+        row.set("speedup_vs_serial", results.front().seconds / r.seconds);
+        row.set("metrics_checksum", hex64(r.checksum));
+        row.set("admitted_revenue_sum", r.revenue_sum);
+        results_json.push(std::move(row));
+    }
+    doc.set("results", std::move(results_json));
+    doc.set("checksums_identical", identical);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 2;
+    }
+    out << doc.dump(2) << '\n';
+    std::cout << "wrote " << out_path << '\n';
+
+    return identical ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 // Microbenchmarks: per-request decision latency of the online schedulers
-// as the cloudlet count grows. An online admission controller sits on the
-// request path, so its decide() cost is the deployment-relevant number.
+// as the cloudlet count grows (an online admission controller sits on the
+// request path, so decide() cost is the deployment-relevant number), plus
+// replication throughput of the parallel experiment engine vs thread count.
 #include <benchmark/benchmark.h>
 
 #include "core/greedy.hpp"
@@ -9,13 +10,16 @@
 #include "core/onsite_primal_dual.hpp"
 #include "net/generators.hpp"
 #include "sim/experiment.hpp"
+#include "sim/scenarios.hpp"
 
 namespace {
 
 using namespace vnfr;
 
 core::Instance make_bench_instance(std::size_t cloudlets, std::size_t requests) {
-    common::Rng rng(99);
+    // Counter-based stream seeding: the instance is a pure function of
+    // (master, cloudlets) — identical across runs and thread settings.
+    common::Rng rng = common::stream_rng(0x9e7f'5c4d, cloudlets);
     net::Graph g = net::erdos_renyi(cloudlets + 5, 0.3, rng, true);
     core::Instance inst{edge::MecNetwork(std::move(g)), vnf::Catalog::paper_default(rng), 60,
                         {}};
@@ -69,6 +73,31 @@ BENCHMARK(BM_OnsitePrimalDualDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 BENCHMARK(BM_OnsiteGreedyDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 BENCHMARK(BM_OffsitePrimalDualDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 BENCHMARK(BM_OffsiteGreedyDecide)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+/// Whole replications per second through the parallel experiment engine at
+/// state.range(0) threads — the macro counterpart of the decide() micros.
+void BM_ParallelExperimentReplications(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    sim::ExperimentConfig cfg;
+    cfg.algorithms = {sim::Algorithm::kOnsitePrimalDual, sim::Algorithm::kOnsiteGreedy};
+    cfg.seeds = 8;
+    cfg.base_seed = common::stream_seed(0x9e7f'5c4d, 1);
+    cfg.threads = threads;
+    const sim::InstanceFactory factory =
+        sim::make_config_factory(sim::golden_environment(120));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::run_experiment(factory, cfg));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cfg.seeds));
+}
+
+BENCHMARK(BM_ParallelExperimentReplications)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

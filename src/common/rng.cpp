@@ -143,4 +143,20 @@ Rng Rng::split(std::uint64_t stream) {
     return Rng(splitmix64(s));
 }
 
+std::uint64_t stream_seed(std::uint64_t master_seed, std::uint64_t stream) {
+    // Two SplitMix64 finalizations with the stream folded in between: the
+    // first decorrelates nearby master seeds, the second decorrelates
+    // nearby stream counters. Purely functional — no shared state to race
+    // on when many threads derive their replication seeds concurrently.
+    std::uint64_t x = master_seed ^ 0x8f2d3b1e6c5a497bULL;
+    std::uint64_t h = splitmix64(x);
+    x = h ^ (stream + 0x6a09e667f3bcc909ULL);
+    h = splitmix64(x);
+    return h;
+}
+
+Rng stream_rng(std::uint64_t master_seed, std::uint64_t stream) {
+    return Rng(stream_seed(master_seed, stream));
+}
+
 }  // namespace vnfr::common

@@ -76,4 +76,19 @@ class Rng {
     bool has_cached_normal_{false};
 };
 
+/// Counter-based stream seeding for parallel experiments: a stateless hash
+/// of (master_seed, stream), so replication `stream` draws the same random
+/// sequence no matter which thread runs it, in what order, or how many
+/// replications run beside it. This — not splitting a shared generator —
+/// is what makes the experiment engine thread-count-invariant.
+///
+/// The hash finalizes two rounds of SplitMix64 over both inputs; distinct
+/// (master_seed, stream) pairs map to distinct-looking seeds, and
+/// stream_seed(s, k) != s + k, so streams never collide with the legacy
+/// additive seeding scheme by construction of use.
+std::uint64_t stream_seed(std::uint64_t master_seed, std::uint64_t stream);
+
+/// Rng seeded with stream_seed(master_seed, stream).
+Rng stream_rng(std::uint64_t master_seed, std::uint64_t stream);
+
 }  // namespace vnfr::common

@@ -1,0 +1,146 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace vnfr::report {
+
+namespace {
+
+void append_double(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+        out += "null";
+        return;
+    }
+    // Round-trip ("shortest exact") formatting keeps checksummed metric
+    // values bit-faithful across emit/inspect cycles.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    // Prefer a shorter form when it already round-trips.
+    double parsed = 0.0;
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, d);
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == d) {  // vnfr-lint: allow(float-eq) exact round-trip test
+            out += shorter;
+            return;
+        }
+    }
+    out += buf;
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+JsonValue::JsonValue(std::uint64_t u) {
+    if (u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+        value_ = static_cast<std::int64_t>(u);
+    } else {
+        value_ = static_cast<double>(u);
+    }
+}
+
+JsonValue JsonValue::object() {
+    JsonValue v;
+    v.value_ = Object{};
+    return v;
+}
+
+JsonValue JsonValue::array() {
+    JsonValue v;
+    v.value_ = Array{};
+    return v;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+    if (!is_object()) throw std::logic_error("JsonValue::set on a non-object");
+    std::get<Object>(value_).emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+    if (!is_array()) throw std::logic_error("JsonValue::push on a non-array");
+    std::get<Array>(value_).push_back(std::move(value));
+    return *this;
+}
+
+bool JsonValue::is_object() const { return std::holds_alternative<Object>(value_); }
+bool JsonValue::is_array() const { return std::holds_alternative<Array>(value_); }
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+    if (std::holds_alternative<std::nullptr_t>(value_)) {
+        out += "null";
+    } else if (const bool* b = std::get_if<bool>(&value_)) {
+        out += *b ? "true" : "false";
+    } else if (const double* d = std::get_if<double>(&value_)) {
+        append_double(out, *d);
+    } else if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+        out += std::to_string(*i);
+    } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+        out += '"';
+        out += json_escape(*s);
+        out += '"';
+    } else if (const Array* a = std::get_if<Array>(&value_)) {
+        out += '[';
+        for (std::size_t k = 0; k < a->size(); ++k) {
+            if (k > 0) out += ',';
+            append_indent(out, indent, depth + 1);
+            (*a)[k].dump_to(out, indent, depth + 1);
+        }
+        if (!a->empty()) append_indent(out, indent, depth);
+        out += ']';
+    } else {
+        const Object& o = std::get<Object>(value_);
+        out += '{';
+        for (std::size_t k = 0; k < o.size(); ++k) {
+            if (k > 0) out += ',';
+            append_indent(out, indent, depth + 1);
+            out += '"';
+            out += json_escape(o[k].first);
+            out += "\": ";
+            o[k].second.dump_to(out, indent, depth + 1);
+        }
+        if (!o.empty()) append_indent(out, indent, depth);
+        out += '}';
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+}  // namespace vnfr::report

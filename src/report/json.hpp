@@ -1,0 +1,65 @@
+// Minimal JSON emission for machine-readable bench artifacts
+// (BENCH_*.json). Build a JsonValue tree, dump() it; object keys keep
+// insertion order so emitted files diff cleanly run-to-run.
+//
+// Writing only — the repo consumes its own artifacts with external tools
+// (jq, CI), never parses JSON back.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace vnfr::report {
+
+class JsonValue {
+  public:
+    using Array = std::vector<JsonValue>;
+    using Member = std::pair<std::string, JsonValue>;
+    using Object = std::vector<Member>;
+
+    /// null by default.
+    JsonValue() : value_(nullptr) {}
+    JsonValue(std::nullptr_t) : value_(nullptr) {}
+    JsonValue(bool b) : value_(b) {}
+    JsonValue(double d) : value_(d) {}
+    JsonValue(std::int64_t i) : value_(i) {}
+    JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+    JsonValue(std::uint64_t u);
+    JsonValue(const char* s) : value_(std::string(s)) {}
+    JsonValue(std::string s) : value_(std::move(s)) {}
+
+    static JsonValue object();
+    static JsonValue array();
+
+    /// Appends a member to an object (duplicate keys are the caller's
+    /// problem); throws std::logic_error when this is not an object.
+    /// Returns *this for chaining.
+    JsonValue& set(std::string key, JsonValue value);
+
+    /// Appends to an array; throws std::logic_error when not an array.
+    JsonValue& push(JsonValue value);
+
+    [[nodiscard]] bool is_object() const;
+    [[nodiscard]] bool is_array() const;
+
+    /// Serializes with `indent` spaces per level (0 = compact single line).
+    /// Doubles print with round-trip precision; non-finite doubles emit
+    /// null (JSON has no NaN/Inf).
+    [[nodiscard]] std::string dump(int indent = 2) const;
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array, Object>
+        value_;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace vnfr::report

@@ -1,11 +1,14 @@
 #include "sim/experiment.hpp"
 
+#include <bit>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "core/greedy.hpp"
 #include "core/hybrid_primal_dual.hpp"
 #include "core/offsite_primal_dual.hpp"
 #include "core/onsite_primal_dual.hpp"
+#include "sim/metrics.hpp"
 
 namespace vnfr::sim {
 
@@ -41,37 +44,128 @@ std::unique_ptr<core::OnlineScheduler> make_scheduler(Algorithm algorithm,
     throw std::invalid_argument("make_scheduler: unknown algorithm");
 }
 
+namespace {
+
+/// Everything one replication contributes to the reduction. Stored per
+/// replication index and folded into the RunningStats accumulators in
+/// ascending index order, so the aggregate never depends on which thread
+/// finished first.
+struct ReplicationOutcome {
+    struct PerAlgorithm {
+        double revenue{0};
+        double acceptance{0};
+        double max_load_factor{0};
+        double admitted{0};
+        double availability{0};
+    };
+    std::vector<PerAlgorithm> algorithms;
+    bool lp_ok{false};
+    double lp_bound{0};
+    bool ilp_ok{false};
+    double ilp_value{0};
+};
+
+ReplicationOutcome run_replication(const InstanceFactory& factory,
+                                   const ExperimentConfig& config, std::size_t k) {
+    common::Rng rng = common::stream_rng(config.base_seed, k);
+    const core::Instance instance = factory(rng);
+
+    ReplicationOutcome rep;
+    rep.algorithms.resize(config.algorithms.size());
+    for (std::size_t ai = 0; ai < config.algorithms.size(); ++ai) {
+        const auto scheduler = make_scheduler(config.algorithms[ai], instance);
+        const core::ScheduleResult result = core::run_online(instance, *scheduler);
+        const PlacementStats stats = placement_stats(instance, result.decisions);
+        ReplicationOutcome::PerAlgorithm& out = rep.algorithms[ai];
+        out.revenue = result.revenue;
+        out.acceptance = core::acceptance_ratio(result, instance);
+        out.max_load_factor = result.max_load_factor;
+        out.admitted = static_cast<double>(result.admitted);
+        out.availability = stats.mean_availability;
+    }
+
+    if (config.compute_offline) {
+        const core::OfflineResult off =
+            core::solve_offline(instance, config.offline_scheme, config.offline);
+        rep.lp_ok = off.lp_optimal;
+        rep.lp_bound = off.lp_bound;
+        rep.ilp_ok = off.has_ilp;
+        rep.ilp_value = off.ilp_value;
+    }
+    return rep;
+}
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) {
+    // FNV-1a over the 8 bytes of v.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+    }
+}
+
+void mix_stats(std::uint64_t& h, const common::RunningStats& s) {
+    mix_u64(h, s.count());
+    mix_u64(h, std::bit_cast<std::uint64_t>(s.sum()));
+    mix_u64(h, std::bit_cast<std::uint64_t>(s.mean()));
+    mix_u64(h, std::bit_cast<std::uint64_t>(s.variance()));
+    mix_u64(h, std::bit_cast<std::uint64_t>(s.min()));
+    mix_u64(h, std::bit_cast<std::uint64_t>(s.max()));
+}
+
+}  // namespace
+
+std::uint64_t metrics_checksum(const ExperimentOutcome& outcome) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const AlgorithmOutcome& a : outcome.per_algorithm) {
+        mix_u64(h, static_cast<std::uint64_t>(a.algorithm));
+        mix_stats(h, a.revenue);
+        mix_stats(h, a.acceptance);
+        mix_stats(h, a.max_load_factor);
+        mix_stats(h, a.admitted);
+        mix_stats(h, a.availability);
+    }
+    mix_stats(h, outcome.offline_bound);
+    mix_stats(h, outcome.offline_ilp);
+    return h;
+}
+
 ExperimentOutcome run_experiment(const InstanceFactory& factory,
                                  const ExperimentConfig& config) {
     if (config.algorithms.empty())
         throw std::invalid_argument("run_experiment: no algorithms configured");
     if (config.seeds == 0) throw std::invalid_argument("run_experiment: zero seeds");
 
+    // Fan the replications out; each writes only its own pre-sized slot.
+    std::vector<ReplicationOutcome> reps(config.seeds);
+    {
+        common::ThreadPool pool(config.threads);
+        pool.parallel_for_blocked(0, config.seeds, 1,
+                                  [&](std::size_t lo, std::size_t hi) {
+                                      for (std::size_t k = lo; k < hi; ++k) {
+                                          reps[k] = run_replication(factory, config, k);
+                                      }
+                                  });
+    }
+
+    // Ordered reduction: ascending replication index, independent of the
+    // schedule above — the other half of the determinism contract.
     ExperimentOutcome outcome;
     outcome.per_algorithm.reserve(config.algorithms.size());
     for (const Algorithm a : config.algorithms) {
-        outcome.per_algorithm.push_back(AlgorithmOutcome{a, {}, {}, {}});
+        outcome.per_algorithm.push_back(AlgorithmOutcome{a, {}, {}, {}, {}, {}});
     }
-
     for (std::size_t k = 0; k < config.seeds; ++k) {
-        common::Rng rng(config.base_seed + k);
-        const core::Instance instance = factory(rng);
-
+        const ReplicationOutcome& rep = reps[k];
         for (std::size_t ai = 0; ai < config.algorithms.size(); ++ai) {
-            const auto scheduler = make_scheduler(config.algorithms[ai], instance);
-            const core::ScheduleResult result = core::run_online(instance, *scheduler);
             AlgorithmOutcome& agg = outcome.per_algorithm[ai];
-            agg.revenue.add(result.revenue);
-            agg.acceptance.add(core::acceptance_ratio(result, instance));
-            agg.max_load_factor.add(result.max_load_factor);
+            agg.revenue.add(rep.algorithms[ai].revenue);
+            agg.acceptance.add(rep.algorithms[ai].acceptance);
+            agg.max_load_factor.add(rep.algorithms[ai].max_load_factor);
+            agg.admitted.add(rep.algorithms[ai].admitted);
+            agg.availability.add(rep.algorithms[ai].availability);
         }
-
-        if (config.compute_offline) {
-            const core::OfflineResult off =
-                core::solve_offline(instance, config.offline_scheme, config.offline);
-            if (off.lp_optimal) outcome.offline_bound.add(off.lp_bound);
-            if (off.has_ilp) outcome.offline_ilp.add(off.ilp_value);
-        }
+        if (rep.lp_ok) outcome.offline_bound.add(rep.lp_bound);
+        if (rep.ilp_ok) outcome.offline_ilp.add(rep.ilp_value);
     }
     return outcome;
 }

@@ -2,6 +2,13 @@
 // the offline benchmark) over independently generated instances and
 // aggregates revenue/acceptance with 95% confidence intervals — the shape
 // of every figure in the paper's Section VI.
+//
+// Replications fan out over a common::ThreadPool. Determinism contract:
+// replication k draws every random number from the counter-based stream
+// stream_seed(base_seed, k) and the per-replication results are reduced in
+// ascending k order on the calling thread, so the aggregated outcome is
+// bit-identical for any thread count (1, 2, 8, ...). The test suite pins
+// this down; see tests/test_parallel_determinism.cpp.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +43,13 @@ std::unique_ptr<core::OnlineScheduler> make_scheduler(Algorithm algorithm,
 struct ExperimentConfig {
     std::vector<Algorithm> algorithms;
     std::size_t seeds{5};
+    /// Master seed; replication k runs on stream_seed(base_seed, k).
     std::uint64_t base_seed{42};
+    /// Worker threads for the replication fan-out (the calling thread
+    /// included); 0 consults VNFR_THREADS / hardware concurrency via
+    /// ThreadPool::default_thread_count(). Results are identical for every
+    /// value by the determinism contract above.
+    std::size_t threads{0};
     /// Also solve the offline benchmark per seed (LP bound, optional ILP).
     bool compute_offline{false};
     core::Scheme offline_scheme{core::Scheme::kOnsite};
@@ -48,6 +61,10 @@ struct AlgorithmOutcome {
     common::RunningStats revenue;
     common::RunningStats acceptance;
     common::RunningStats max_load_factor;
+    /// Admitted-request count per replication.
+    common::RunningStats admitted;
+    /// Mean analytic availability of admitted placements per replication.
+    common::RunningStats availability;
 };
 
 struct ExperimentOutcome {
@@ -56,8 +73,18 @@ struct ExperimentOutcome {
     common::RunningStats offline_ilp;    ///< best integral revenue per seed
 };
 
-/// Builds one instance per seed via `factory` (seeded from base_seed + k),
-/// replays it through every configured algorithm, and aggregates.
+/// Order-sensitive 64-bit digest over every aggregated statistic of the
+/// outcome (counts and raw IEEE-754 bit patterns of sum/mean/variance/
+/// min/max for each metric). Two outcomes collide only if they are
+/// bit-identical in every aggregate — the thread-count-invariance tests
+/// and the bench artifact compare exactly this.
+std::uint64_t metrics_checksum(const ExperimentOutcome& outcome);
+
+/// Builds one instance per replication via `factory` (seeded from
+/// stream_seed(base_seed, k)), replays it through every configured
+/// algorithm, and aggregates. `factory` is invoked concurrently from the
+/// pool's threads and must be thread-safe (a pure function of its Rng —
+/// any capture must be read-only).
 using InstanceFactory = std::function<core::Instance(common::Rng&)>;
 
 ExperimentOutcome run_experiment(const InstanceFactory& factory,

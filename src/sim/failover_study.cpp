@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "sim/availability_process.hpp"
 
 namespace vnfr::sim {
@@ -70,6 +71,40 @@ FailoverReport run_failover_study(const core::Instance& instance,
         }
     }
     return report;
+}
+
+FailoverStudyOutcome run_failover_replications(const core::Instance& instance,
+                                               const std::vector<core::Decision>& decisions,
+                                               const FailoverStudyConfig& config) {
+    if (config.replications == 0)
+        throw std::invalid_argument("run_failover_replications: zero replications");
+
+    std::vector<FailoverReport> reports(config.replications);
+    {
+        common::ThreadPool pool(config.threads);
+        pool.parallel_for_blocked(
+            0, config.replications, 1, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t k = lo; k < hi; ++k) {
+                    FailoverConfig per = config.process;
+                    per.seed = common::stream_seed(config.master_seed, k);
+                    reports[k] = run_failover_study(instance, decisions, per);
+                }
+            });
+    }
+
+    // Ordered reduction, same contract as the experiment engine.
+    FailoverStudyOutcome outcome;
+    for (std::size_t k = 0; k < config.replications; ++k) {
+        const FailoverReport& r = reports[k];
+        outcome.total.request_slots += r.request_slots;
+        outcome.total.served_slots += r.served_slots;
+        outcome.total.disrupted_slots += r.disrupted_slots;
+        outcome.total.local_failovers += r.local_failovers;
+        outcome.total.remote_failovers += r.remote_failovers;
+        outcome.total.outages += r.outages;
+        outcome.availability.add(r.availability());
+    }
+    return outcome;
 }
 
 }  // namespace vnfr::sim

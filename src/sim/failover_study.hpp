@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 
@@ -44,5 +45,33 @@ struct FailoverReport {
 FailoverReport run_failover_study(const core::Instance& instance,
                                   const std::vector<core::Decision>& decisions,
                                   const FailoverConfig& config = {});
+
+/// Monte-Carlo version: many independent failure-process replications of
+/// the same schedule, fanned out over a thread pool.
+struct FailoverStudyConfig {
+    /// Process parameters shared by every replication; its `seed` field is
+    /// ignored — replication k runs on stream_seed(master_seed, k).
+    FailoverConfig process{};
+    std::size_t replications{5};
+    std::uint64_t master_seed{0xfa11};
+    /// 0 consults VNFR_THREADS / hardware (ThreadPool::default_thread_count).
+    std::size_t threads{0};
+};
+
+struct FailoverStudyOutcome {
+    /// Counter sums over all replications (slot totals, failovers, outages).
+    FailoverReport total;
+    /// Per-replication availability, reduced in replication order.
+    common::RunningStats availability;
+};
+
+/// Runs `config.replications` failure replays of `decisions` in parallel.
+/// Deterministic for any thread count: replication k's failure process is
+/// seeded from the counter-based stream (master_seed, k) and results are
+/// reduced in ascending k order. Throws std::invalid_argument on zero
+/// replications (and propagates run_failover_study's own validation).
+FailoverStudyOutcome run_failover_replications(const core::Instance& instance,
+                                               const std::vector<core::Decision>& decisions,
+                                               const FailoverStudyConfig& config = {});
 
 }  // namespace vnfr::sim

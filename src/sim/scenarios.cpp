@@ -1,0 +1,43 @@
+#include "sim/scenarios.hpp"
+
+namespace vnfr::sim {
+
+core::InstanceConfig paper_environment(std::size_t request_count) {
+    core::InstanceConfig cfg;
+    cfg.topology = "geant";
+    cfg.cloudlets.count = 8;
+    // Capacities large relative to a single placement's demand (the regime
+    // of the primal-dual analysis: cap >> a) but small enough that the
+    // network is ~2.5x over-subscribed at n = 800, where the admission
+    // policies separate.
+    cfg.cloudlets.capacity_min = 40;
+    cfg.cloudlets.capacity_max = 60;
+    cfg.cloudlets.reliability_min = 0.95;
+    cfg.cloudlets.reliability_max = 0.999;
+    cfg.workload.horizon = 24;
+    cfg.workload.count = request_count;
+    cfg.workload.duration_min = 4;
+    cfg.workload.duration_max = 16;
+    cfg.workload.requirement_min = 0.90;
+    cfg.workload.requirement_max = 0.97;
+    cfg.workload.payment_rate_min = 1.0;
+    cfg.workload.payment_rate_max = 5.0;
+    return cfg;
+}
+
+core::InstanceConfig golden_environment(std::size_t request_count) {
+    core::InstanceConfig cfg = paper_environment(request_count);
+    cfg.cloudlets.count = 4;
+    cfg.cloudlets.capacity_min = 20;
+    cfg.cloudlets.capacity_max = 30;
+    cfg.workload.horizon = 12;
+    cfg.workload.duration_min = 2;
+    cfg.workload.duration_max = 8;
+    return cfg;
+}
+
+InstanceFactory make_config_factory(core::InstanceConfig config) {
+    return [config](common::Rng& rng) { return core::make_instance(config, rng); };
+}
+
+}  // namespace vnfr::sim

@@ -1,0 +1,168 @@
+// Golden regression over the figure trends: tiny fixed-seed sweeps in the
+// golden_environment, diffed against committed CSV baselines. Because the
+// experiment engine is deterministic by construction (counter-based RNG
+// streams, thread-count-invariant reduction), the values should reproduce
+// to the last bit on one platform; the comparison still allows a small
+// relative tolerance so a different libm/compiler does not turn an
+// ulp-level difference in a transcendental into a red build.
+//
+// Regenerate after an intentional behavior change with
+//   VNFR_UPDATE_GOLDENS=1 ./build/tests/test_golden_regression
+// and commit the rewritten files under tests/golden/.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/scenarios.hpp"
+
+#ifndef VNFR_GOLDEN_DIR
+#error "VNFR_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace vnfr::sim {
+namespace {
+
+/// Values are compared as |got - want| <= kRelTol * max(1, |want|).
+constexpr double kRelTol = 1e-6;
+
+struct GoldenRow {
+    std::string param;      ///< sweep coordinate, e.g. "n=40" or "K=1.05"
+    std::string algorithm;
+    double revenue{0};
+    double acceptance{0};
+    double admitted{0};
+    double availability{0};
+};
+
+std::string row_key(const GoldenRow& row) { return row.param + "/" + row.algorithm; }
+
+std::vector<GoldenRow> run_sweep_point(const core::InstanceConfig& config,
+                                       const std::string& param,
+                                       std::uint64_t base_seed) {
+    ExperimentConfig cfg;
+    cfg.algorithms = {Algorithm::kOnsitePrimalDual, Algorithm::kOnsiteGreedy,
+                      Algorithm::kOffsitePrimalDual, Algorithm::kOffsiteGreedy};
+    cfg.seeds = 3;
+    cfg.base_seed = base_seed;
+    const ExperimentOutcome out = run_experiment(make_config_factory(config), cfg);
+
+    std::vector<GoldenRow> rows;
+    for (const AlgorithmOutcome& a : out.per_algorithm) {
+        GoldenRow row;
+        row.param = param;
+        row.algorithm = std::string(algorithm_name(a.algorithm));
+        row.revenue = a.revenue.mean();
+        row.acceptance = a.acceptance.mean();
+        row.admitted = a.admitted.mean();
+        row.availability = a.availability.mean();
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+/// fig1a/fig1b trend, shrunk: revenue and acceptance versus request count.
+std::vector<GoldenRow> fig1a_small_rows() {
+    std::vector<GoldenRow> rows;
+    for (const std::size_t n : {std::size_t{40}, std::size_t{80}}) {
+        const auto point = run_sweep_point(golden_environment(n), "n=" + std::to_string(n),
+                                           common::stream_seed(0x601d, n));
+        rows.insert(rows.end(), point.begin(), point.end());
+    }
+    return rows;
+}
+
+/// fig2b trend, shrunk: the reliability-ratio sweep K = rc_max / rc_min.
+std::vector<GoldenRow> fig2b_small_rows() {
+    const double sweep[] = {1.001, 1.05};
+    std::vector<GoldenRow> rows;
+    for (std::size_t i = 0; i < std::size(sweep); ++i) {
+        core::InstanceConfig config = golden_environment(60);
+        config.set_reliability_ratio(sweep[i]);
+        std::ostringstream param;
+        param << "K=" << sweep[i];
+        const auto point =
+            run_sweep_point(config, param.str(), common::stream_seed(0x601d2b, i));
+        rows.insert(rows.end(), point.begin(), point.end());
+    }
+    return rows;
+}
+
+void write_golden(const std::string& path, const std::vector<GoldenRow>& rows) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << "param,algorithm,revenue,acceptance,admitted,availability\n";
+    out.precision(17);
+    for (const GoldenRow& row : rows) {
+        out << row.param << ',' << row.algorithm << ',' << row.revenue << ','
+            << row.acceptance << ',' << row.admitted << ',' << row.availability << '\n';
+    }
+}
+
+std::map<std::string, GoldenRow> load_golden(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "missing golden file " << path
+                    << " — regenerate with VNFR_UPDATE_GOLDENS=1";
+    std::map<std::string, GoldenRow> rows;
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        GoldenRow row;
+        std::string cell;
+        std::getline(fields, row.param, ',');
+        std::getline(fields, row.algorithm, ',');
+        std::getline(fields, cell, ',');
+        row.revenue = std::stod(cell);
+        std::getline(fields, cell, ',');
+        row.acceptance = std::stod(cell);
+        std::getline(fields, cell, ',');
+        row.admitted = std::stod(cell);
+        std::getline(fields, cell, ',');
+        row.availability = std::stod(cell);
+        rows[row_key(row)] = row;
+    }
+    return rows;
+}
+
+void expect_close(double got, double want, const std::string& what) {
+    EXPECT_LE(std::abs(got - want), kRelTol * std::max(1.0, std::abs(want))) << what;
+}
+
+void check_against_golden(const std::string& name, const std::vector<GoldenRow>& rows) {
+    const std::string path = std::string(VNFR_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("VNFR_UPDATE_GOLDENS") != nullptr) {
+        write_golden(path, rows);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    const std::map<std::string, GoldenRow> want = load_golden(path);
+    ASSERT_EQ(rows.size(), want.size()) << "row count drifted for " << name;
+    for (const GoldenRow& got : rows) {
+        const auto it = want.find(row_key(got));
+        ASSERT_NE(it, want.end()) << "unexpected row " << row_key(got) << " in " << name;
+        expect_close(got.revenue, it->second.revenue, row_key(got) + " revenue");
+        expect_close(got.acceptance, it->second.acceptance, row_key(got) + " acceptance");
+        expect_close(got.admitted, it->second.admitted, row_key(got) + " admitted");
+        expect_close(got.availability, it->second.availability,
+                     row_key(got) + " availability");
+    }
+}
+
+TEST(GoldenRegression, Fig1aSmallTrendMatchesBaseline) {
+    check_against_golden("fig1a_small.csv", fig1a_small_rows());
+}
+
+TEST(GoldenRegression, Fig2bSmallTrendMatchesBaseline) {
+    check_against_golden("fig2b_small.csv", fig2b_small_rows());
+}
+
+}  // namespace
+}  // namespace vnfr::sim
