@@ -1,0 +1,202 @@
+// Recovery-policy ablation: the same admitted schedule under identical
+// fault schedules, once per recovery policy.
+//
+// For each policy (none / local-respawn / remote-migrate / readmit) the
+// bench replays the hybrid primal-dual schedule through the recovery
+// orchestrator under a fixed Monte-Carlo set of fault schedules and
+// reports delivered availability, delivered-vs-promised R_i, time to
+// recover, failovers, shed revenue and SLA violations. Emits
+// BENCH_recovery_policies.json and exits nonzero when either of the
+// acceptance gates fails:
+//
+//   * every recovery policy delivers at least kNone's availability, and
+//     no policy ever incurs a ledger capacity violation;
+//   * the recovery metrics checksum is bit-identical at 1, 2 and 8
+//     threads.
+//
+// Usage: ablation_recovery_policies [output.json]
+//   VNFR_BENCH_QUICK=1  shrink replications/instance for smoke/CI runs
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "report/json.hpp"
+#include "sim/recovery_study.hpp"
+
+using namespace vnfr;
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+constexpr sim::RecoveryPolicy kPolicies[] = {
+    sim::RecoveryPolicy::kNone, sim::RecoveryPolicy::kLocalRespawn,
+    sim::RecoveryPolicy::kRemoteMigrate, sim::RecoveryPolicy::kReadmit};
+
+struct PolicyResult {
+    sim::RecoveryPolicy policy{};
+    sim::RecoveryStudyOutcome outcome;
+    double seconds{0};
+    std::uint64_t checksum{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path =
+        argc > 1 ? argv[1] : std::string("BENCH_recovery_policies.json");
+
+    const std::size_t requests = bench::quick_mode() ? 120 : 300;
+    const std::size_t replications = bench::quick_mode() ? 3 : 8;
+    const std::uint64_t master = bench::scenario_seed("recovery_policies", requests);
+
+    std::cout << "== Recovery-policy ablation: identical fault schedules ==\n";
+    bench::print_thread_note();
+
+    // One paper-environment instance, scheduled once: every policy replays
+    // the same decisions under the same fault schedules.
+    common::Rng rng = common::stream_rng(master, 0);
+    const core::Instance instance =
+        bench::make_factory(bench::paper_environment(requests))(rng);
+    const auto scheduler =
+        sim::make_scheduler(sim::Algorithm::kHybridPrimalDual, instance);
+    const core::ScheduleResult schedule = core::run_online(instance, *scheduler);
+    std::cout << "instance: " << instance.requests.size() << " requests, "
+              << instance.network.cloudlet_count() << " cloudlets, horizon "
+              << instance.horizon << "; admitted " << schedule.admitted << "\n\n";
+
+    sim::FaultInjectorConfig faults;
+    faults.rack_failure_per_slot = 0.005;
+
+    const auto run_policy = [&](sim::RecoveryPolicy policy, std::size_t threads) {
+        sim::RecoveryStudyConfig cfg;
+        cfg.faults = faults;
+        cfg.recovery.policy = policy;
+        cfg.replications = replications;
+        cfg.master_seed = common::stream_seed(master, 1);
+        cfg.threads = threads;
+        return sim::run_recovery_replications(instance, schedule.decisions, cfg);
+    };
+
+    std::vector<PolicyResult> results;
+    for (const sim::RecoveryPolicy policy : kPolicies) {
+        PolicyResult r;
+        r.policy = policy;
+        const auto start = std::chrono::steady_clock::now();
+        r.outcome = run_policy(policy, 0);
+        r.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        r.checksum = sim::recovery_metrics_checksum(r.outcome);
+        results.push_back(std::move(r));
+    }
+
+    report::Table table({"policy", "availability", "delivered/promised", "mean-ttr",
+                         "failovers", "recoveries", "shed-revenue", "sla-violations"});
+    for (const PolicyResult& r : results) {
+        const sim::RecoveryReport& t = r.outcome.total;
+        table.add_row(
+            {sim::to_string(r.policy), report::format_double(t.availability(), 4),
+             report::format_double(t.mean_delivered(), 4) + "/" +
+                 report::format_double(t.mean_promised(), 4),
+             report::format_double(t.mean_time_to_recover(), 2),
+             std::to_string(t.local_failovers + t.remote_failovers),
+             std::to_string(t.local_respawns + t.remote_migrations + t.readmissions),
+             report::format_double(t.shed_revenue, 1),
+             std::to_string(t.sla_violations) + "/" + std::to_string(t.sla_requests)});
+    }
+    std::cout << table.to_text() << '\n';
+
+    // Gate 1: recovery dominates doing nothing, without capacity violations.
+    const double baseline = results.front().outcome.total.availability();
+    bool dominated = true;
+    bool capacity_clean = true;
+    for (const PolicyResult& r : results) {
+        if (r.outcome.total.availability() + 1e-12 < baseline) dominated = false;
+        if (r.outcome.total.capacity_violations != 0) capacity_clean = false;
+    }
+    std::cout << (dominated ? "recovery policies dominate kNone\n"
+                            : "DOMINANCE VIOLATION: a policy fell below kNone\n");
+    std::cout << (capacity_clean ? "zero ledger capacity violations\n"
+                                 : "CAPACITY VIOLATION: recovery overbooked a cloudlet\n");
+
+    // Gate 2: thread-count invariance of the Monte-Carlo checksum.
+    bool deterministic = true;
+    const std::uint64_t reference =
+        sim::recovery_metrics_checksum(run_policy(sim::RecoveryPolicy::kReadmit, 1));
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const std::uint64_t checksum =
+            sim::recovery_metrics_checksum(run_policy(sim::RecoveryPolicy::kReadmit, threads));
+        if (checksum != reference) deterministic = false;
+    }
+    std::cout << (deterministic
+                      ? "metrics checksum bit-identical at 1/2/8 threads\n\n"
+                      : "DETERMINISM VIOLATION: checksum differs across threads\n\n");
+
+    report::JsonValue doc = report::JsonValue::object();
+    doc.set("bench", "recovery_policies");
+    doc.set("workload", "hybrid primal-dual schedule under injected faults");
+    doc.set("quick_mode", bench::quick_mode());
+    doc.set("requests", requests);
+    doc.set("admitted", schedule.admitted);
+    doc.set("replications", replications);
+    doc.set("master_seed", hex64(master));
+    report::JsonValue fault_json = report::JsonValue::object();
+    fault_json.set("cloudlet_crash_per_slot", faults.cloudlet_crash_per_slot);
+    fault_json.set("instance_crash_per_slot", faults.instance_crash_per_slot);
+    fault_json.set("transient_blip_per_slot", faults.transient_blip_per_slot);
+    fault_json.set("rack_failure_per_slot", faults.rack_failure_per_slot);
+    fault_json.set("rack_span", faults.rack_span);
+    fault_json.set("cloudlet_mttr_slots", faults.cloudlet_mttr_slots);
+    doc.set("faults", std::move(fault_json));
+    report::JsonValue policies_json = report::JsonValue::array();
+    for (const PolicyResult& r : results) {
+        const sim::RecoveryReport& t = r.outcome.total;
+        report::JsonValue row = report::JsonValue::object();
+        row.set("policy", sim::to_string(r.policy));
+        row.set("wall_seconds", r.seconds);
+        row.set("availability", t.availability());
+        row.set("availability_ci95", r.outcome.availability.ci95_halfwidth());
+        row.set("mean_delivered", t.mean_delivered());
+        row.set("mean_promised", t.mean_promised());
+        row.set("mean_time_to_recover", t.mean_time_to_recover());
+        row.set("local_failovers", t.local_failovers);
+        row.set("remote_failovers", t.remote_failovers);
+        row.set("outages", t.outages);
+        row.set("recovered_outages", t.recovered_outages);
+        row.set("local_respawns", t.local_respawns);
+        row.set("remote_migrations", t.remote_migrations);
+        row.set("readmissions", t.readmissions);
+        row.set("failed_recoveries", t.failed_recoveries);
+        row.set("instances_lost", t.instances_lost);
+        row.set("shed_requests", t.shed_requests);
+        row.set("shed_revenue", t.shed_revenue);
+        row.set("sla_violations", t.sla_violations);
+        row.set("sla_requests", t.sla_requests);
+        row.set("capacity_violations", t.capacity_violations);
+        row.set("metrics_checksum", hex64(r.checksum));
+        policies_json.push(std::move(row));
+    }
+    doc.set("policies", std::move(policies_json));
+    doc.set("dominates_none", dominated);
+    doc.set("capacity_clean", capacity_clean);
+    doc.set("checksums_identical", deterministic);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 2;
+    }
+    out << doc.dump(2) << '\n';
+    std::cout << "wrote " << out_path << '\n';
+
+    return (dominated && capacity_clean && deterministic) ? 0 : 1;
+}

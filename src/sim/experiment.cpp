@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
 #include "core/greedy.hpp"
 #include "core/hybrid_primal_dual.hpp"
@@ -131,9 +132,8 @@ std::uint64_t metrics_checksum(const ExperimentOutcome& outcome) {
 
 ExperimentOutcome run_experiment(const InstanceFactory& factory,
                                  const ExperimentConfig& config) {
-    if (config.algorithms.empty())
-        throw std::invalid_argument("run_experiment: no algorithms configured");
-    if (config.seeds == 0) throw std::invalid_argument("run_experiment: zero seeds");
+    VNFR_CHECK(!config.algorithms.empty(), "run_experiment: no algorithms configured");
+    VNFR_CHECK(config.seeds >= 1, "run_experiment: seeds must be >= 1");
 
     // Fan the replications out; each writes only its own pre-sized slot.
     std::vector<ReplicationOutcome> reps(config.seeds);

@@ -1,7 +1,9 @@
 #include "sim/failover_study.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/availability_process.hpp"
 
@@ -13,6 +15,14 @@ FailoverReport run_failover_study(const core::Instance& instance,
     instance.validate();
     if (decisions.size() != instance.requests.size())
         throw std::invalid_argument("run_failover_study: decisions/requests size mismatch");
+    VNFR_CHECK(std::isfinite(config.cloudlet_mttr_slots) &&
+                   config.cloudlet_mttr_slots > 0.0,
+               "cloudlet_mttr_slots must be positive and finite, got ",
+               config.cloudlet_mttr_slots);
+    VNFR_CHECK(std::isfinite(config.instance_mttr_slots) &&
+                   config.instance_mttr_slots > 0.0,
+               "instance_mttr_slots must be positive and finite, got ",
+               config.instance_mttr_slots);
 
     AvailabilityProcess process(instance, config.cloudlet_mttr_slots,
                                 config.instance_mttr_slots, common::Rng(config.seed));
@@ -76,8 +86,15 @@ FailoverReport run_failover_study(const core::Instance& instance,
 FailoverStudyOutcome run_failover_replications(const core::Instance& instance,
                                                const std::vector<core::Decision>& decisions,
                                                const FailoverStudyConfig& config) {
-    if (config.replications == 0)
-        throw std::invalid_argument("run_failover_replications: zero replications");
+    VNFR_CHECK(config.replications >= 1,
+               "run_failover_replications: replications must be >= 1");
+    // Seeding precedence is explicit: the Monte-Carlo path derives every
+    // replication's seed from master_seed, so a caller-set process.seed
+    // would be silently ignored — reject it instead.
+    if (config.process.seed != FailoverConfig{}.seed)
+        throw std::invalid_argument(
+            "run_failover_replications: FailoverConfig::seed has no effect here; "
+            "set FailoverStudyConfig::master_seed instead");
 
     std::vector<FailoverReport> reports(config.replications);
     {

@@ -17,8 +17,15 @@
 namespace vnfr::sim {
 
 struct FailoverConfig {
+    /// Both MTTRs must be positive and finite (and >= 1 slot for the
+    /// underlying AvailabilityProcess); enforced via VNFR_CHECK.
     double cloudlet_mttr_slots{4.0};
     double instance_mttr_slots{2.0};
+    /// RNG seed for a single run_failover_study call ONLY. In the
+    /// Monte-Carlo path (FailoverStudyConfig) replication k is always
+    /// seeded from stream_seed(master_seed, k) and this field must be left
+    /// at its default — run_failover_replications throws if it was set, so
+    /// a caller can never silently mis-seed.
     std::uint64_t seed{0xfa11};
 };
 
@@ -49,8 +56,12 @@ FailoverReport run_failover_study(const core::Instance& instance,
 /// Monte-Carlo version: many independent failure-process replications of
 /// the same schedule, fanned out over a thread pool.
 struct FailoverStudyConfig {
-    /// Process parameters shared by every replication; its `seed` field is
-    /// ignored — replication k runs on stream_seed(master_seed, k).
+    /// Process parameters shared by every replication. Seeding precedence
+    /// is explicit: `process.seed` has NO effect here — replication k runs
+    /// on stream_seed(master_seed, k), and run_failover_replications
+    /// throws std::invalid_argument when `process.seed` differs from the
+    /// FailoverConfig default (i.e. when a caller tried to seed through
+    /// the wrong knob).
     FailoverConfig process{};
     std::size_t replications{5};
     std::uint64_t master_seed{0xfa11};
@@ -68,8 +79,10 @@ struct FailoverStudyOutcome {
 /// Runs `config.replications` failure replays of `decisions` in parallel.
 /// Deterministic for any thread count: replication k's failure process is
 /// seeded from the counter-based stream (master_seed, k) and results are
-/// reduced in ascending k order. Throws std::invalid_argument on zero
-/// replications (and propagates run_failover_study's own validation).
+/// reduced in ascending k order. Throws (via VNFR_CHECK) on zero
+/// replications, throws std::invalid_argument when `config.process.seed`
+/// was changed from its default (seed via `master_seed` instead), and
+/// propagates run_failover_study's own validation.
 FailoverStudyOutcome run_failover_replications(const core::Instance& instance,
                                                const std::vector<core::Decision>& decisions,
                                                const FailoverStudyConfig& config = {});

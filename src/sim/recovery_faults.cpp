@@ -1,0 +1,122 @@
+#include "sim/recovery_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace vnfr::sim {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::kCloudletCrash: return "cloudlet-crash";
+        case FaultKind::kInstanceCrash: return "instance-crash";
+        case FaultKind::kTransientBlip: return "transient-blip";
+        case FaultKind::kRackFailure: return "rack-failure";
+    }
+    throw std::invalid_argument("to_string: unknown FaultKind");
+}
+
+namespace {
+
+/// Sampled hardware repair time with the configured mean, never below one
+/// slot (a crash always costs at least the slot it lands on).
+TimeSlot sample_down_slots(common::Rng& rng, double mttr) {
+    const double draw = rng.exponential(1.0 / mttr);
+    return std::max<TimeSlot>(1, static_cast<TimeSlot>(std::lround(draw)));
+}
+
+}  // namespace
+
+FaultSchedule generate_fault_schedule(const core::Instance& instance,
+                                      const std::vector<core::Decision>& decisions,
+                                      const FaultInjectorConfig& config,
+                                      std::uint64_t seed) {
+    if (decisions.size() != instance.requests.size())
+        throw std::invalid_argument(
+            "generate_fault_schedule: decisions/requests size mismatch");
+    VNFR_CHECK_PROB(config.cloudlet_crash_per_slot);
+    VNFR_CHECK_PROB(config.instance_crash_per_slot);
+    VNFR_CHECK_PROB(config.transient_blip_per_slot);
+    VNFR_CHECK_PROB(config.rack_failure_per_slot);
+    VNFR_CHECK(std::isfinite(config.cloudlet_mttr_slots) &&
+                   config.cloudlet_mttr_slots > 0.0,
+               "cloudlet_mttr_slots must be positive and finite, got ",
+               config.cloudlet_mttr_slots);
+    VNFR_CHECK(config.rack_span >= 1, "rack_span must be >= 1");
+
+    const std::size_t m = instance.network.cloudlet_count();
+    common::Rng rng(seed);
+    FaultSchedule schedule;
+
+    // Requests are sorted by arrival, so a sliding window of active admitted
+    // requests per slot needs one pass.
+    std::size_t next_request = 0;
+    std::vector<std::size_t> active;
+    for (TimeSlot t = 0; t < instance.horizon; ++t) {
+        while (next_request < instance.requests.size() &&
+               instance.requests[next_request].arrival == t) {
+            if (decisions[next_request].admitted) active.push_back(next_request);
+            ++next_request;
+        }
+        std::erase_if(active,
+                      [&](std::size_t i) { return !instance.requests[i].covers(t); });
+
+        for (std::size_t j = 0; j < m; ++j) {
+            const CloudletId c{static_cast<std::int64_t>(j)};
+            if (rng.bernoulli(config.cloudlet_crash_per_slot)) {
+                FaultEvent e;
+                e.slot = t;
+                e.kind = FaultKind::kCloudletCrash;
+                e.cloudlet = c;
+                e.down_slots = sample_down_slots(rng, config.cloudlet_mttr_slots);
+                schedule.events.push_back(e);
+                ++schedule.cloudlet_crashes;
+            }
+            if (rng.bernoulli(config.transient_blip_per_slot)) {
+                FaultEvent e;
+                e.slot = t;
+                e.kind = FaultKind::kTransientBlip;
+                e.cloudlet = c;
+                e.down_slots = 1;
+                schedule.events.push_back(e);
+                ++schedule.transient_blips;
+            }
+        }
+
+        if (m > 0 && rng.bernoulli(config.rack_failure_per_slot)) {
+            FaultEvent e;
+            e.slot = t;
+            e.kind = FaultKind::kRackFailure;
+            const auto base = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+            e.cloudlet = CloudletId{static_cast<std::int64_t>(base)};
+            e.span = std::min(config.rack_span, m - base);
+            e.down_slots = sample_down_slots(rng, config.cloudlet_mttr_slots);
+            schedule.events.push_back(e);
+            ++schedule.rack_failures;
+        }
+
+        for (const std::size_t i : active) {
+            if (!rng.bernoulli(config.instance_crash_per_slot)) continue;
+            const core::Placement& p = decisions[i].placement;
+            if (p.sites.empty()) continue;
+            FaultEvent e;
+            e.slot = t;
+            e.kind = FaultKind::kInstanceCrash;
+            e.request_index = i;
+            e.site = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(p.sites.size()) - 1));
+            const int replicas = std::max(1, p.sites[e.site].replicas);
+            e.replica = static_cast<std::size_t>(rng.uniform_int(0, replicas - 1));
+            e.cloudlet = p.sites[e.site].cloudlet;
+            schedule.events.push_back(e);
+            ++schedule.instance_crashes;
+        }
+    }
+    return schedule;
+}
+
+}  // namespace vnfr::sim

@@ -1,0 +1,139 @@
+#include "sim/recovery_study.hpp"
+
+#include <bit>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace vnfr::sim {
+
+namespace {
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) {
+    // FNV-1a over the 8 bytes of v (same construction as metrics_checksum).
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+    }
+}
+
+void mix_double(std::uint64_t& h, double v) { mix_u64(h, std::bit_cast<std::uint64_t>(v)); }
+
+void mix_stats(std::uint64_t& h, const common::RunningStats& s) {
+    mix_u64(h, s.count());
+    mix_double(h, s.sum());
+    mix_double(h, s.mean());
+    mix_double(h, s.variance());
+    mix_double(h, s.min());
+    mix_double(h, s.max());
+}
+
+void accumulate(RecoveryReport& total, const RecoveryReport& rep) {
+    total.request_slots += rep.request_slots;
+    total.served_slots += rep.served_slots;
+    total.disrupted_slots += rep.disrupted_slots;
+    total.cloudlet_crashes += rep.cloudlet_crashes;
+    total.instance_crashes += rep.instance_crashes;
+    total.transient_blips += rep.transient_blips;
+    total.rack_failures += rep.rack_failures;
+    total.instances_lost += rep.instances_lost;
+    total.local_respawns += rep.local_respawns;
+    total.remote_migrations += rep.remote_migrations;
+    total.readmissions += rep.readmissions;
+    total.failed_recoveries += rep.failed_recoveries;
+    total.local_failovers += rep.local_failovers;
+    total.remote_failovers += rep.remote_failovers;
+    total.outages += rep.outages;
+    total.recovered_outages += rep.recovered_outages;
+    total.recovery_slots_total += rep.recovery_slots_total;
+    total.shed_requests += rep.shed_requests;
+    total.shed_revenue += rep.shed_revenue;
+    total.sla_requests += rep.sla_requests;
+    total.sla_violations += rep.sla_violations;
+    total.promised_availability_sum += rep.promised_availability_sum;
+    total.delivered_availability_sum += rep.delivered_availability_sum;
+    total.capacity_violations += rep.capacity_violations;
+}
+
+}  // namespace
+
+std::uint64_t recovery_metrics_checksum(const RecoveryStudyOutcome& outcome) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const RecoveryReport& t = outcome.total;
+    mix_u64(h, t.request_slots);
+    mix_u64(h, t.served_slots);
+    mix_u64(h, t.disrupted_slots);
+    mix_u64(h, t.cloudlet_crashes);
+    mix_u64(h, t.instance_crashes);
+    mix_u64(h, t.transient_blips);
+    mix_u64(h, t.rack_failures);
+    mix_u64(h, t.instances_lost);
+    mix_u64(h, t.local_respawns);
+    mix_u64(h, t.remote_migrations);
+    mix_u64(h, t.readmissions);
+    mix_u64(h, t.failed_recoveries);
+    mix_u64(h, t.local_failovers);
+    mix_u64(h, t.remote_failovers);
+    mix_u64(h, t.outages);
+    mix_u64(h, t.recovered_outages);
+    mix_u64(h, t.recovery_slots_total);
+    mix_u64(h, t.shed_requests);
+    mix_double(h, t.shed_revenue);
+    mix_u64(h, t.sla_requests);
+    mix_u64(h, t.sla_violations);
+    mix_double(h, t.promised_availability_sum);
+    mix_double(h, t.delivered_availability_sum);
+    mix_u64(h, t.capacity_violations);
+    mix_stats(h, outcome.availability);
+    mix_stats(h, outcome.delivered);
+    mix_stats(h, outcome.time_to_recover);
+    mix_stats(h, outcome.shed_revenue);
+    return h;
+}
+
+RecoveryStudyOutcome run_recovery_replications(
+    const core::Instance& instance, const std::vector<core::Decision>& decisions,
+    const RecoveryStudyConfig& config) {
+    VNFR_CHECK(config.replications >= 1,
+               "run_recovery_replications: replications must be >= 1");
+
+    const FaultScheduleFactory injector =
+        config.injector
+            ? config.injector
+            : FaultScheduleFactory(
+                  [&config](const core::Instance& inst,
+                            const std::vector<core::Decision>& decs, std::uint64_t seed) {
+                      return generate_fault_schedule(inst, decs, config.faults, seed);
+                  });
+
+    // Fan the replications out; each writes only its own pre-sized slot.
+    std::vector<RecoveryReport> reps(config.replications);
+    {
+        common::ThreadPool pool(config.threads);
+        pool.parallel_for_blocked(
+            0, config.replications, 1, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t k = lo; k < hi; ++k) {
+                    const FaultSchedule schedule = injector(
+                        instance, decisions, common::stream_seed(config.master_seed, k));
+                    reps[k] = run_recovery_study(instance, decisions, schedule,
+                                                 config.recovery);
+                }
+            });
+    }
+
+    // Ordered reduction in ascending k — the other half of the determinism
+    // contract.
+    RecoveryStudyOutcome outcome;
+    for (std::size_t k = 0; k < config.replications; ++k) {
+        const RecoveryReport& rep = reps[k];
+        accumulate(outcome.total, rep);
+        outcome.availability.add(rep.availability());
+        outcome.delivered.add(rep.mean_delivered());
+        outcome.time_to_recover.add(rep.mean_time_to_recover());
+        outcome.shed_revenue.add(rep.shed_revenue);
+    }
+    return outcome;
+}
+
+}  // namespace vnfr::sim

@@ -1,7 +1,9 @@
 #include "workload/trace_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -28,24 +30,43 @@ std::vector<std::string> split_csv(const std::string& line) {
     return fields;
 }
 
-double parse_double(const std::string& s, const char* what) {
+[[noreturn]] void reject(std::size_t line_no, const std::string& detail) {
+    throw std::runtime_error("read_trace: line " + std::to_string(line_no) + ": " + detail);
+}
+
+double parse_double(const std::string& s, const char* what, std::size_t line_no) {
     try {
         std::size_t pos = 0;
         const double v = std::stod(s, &pos);
         if (pos != s.size()) throw std::invalid_argument("trailing characters");
+        // std::stod happily parses "nan" and "inf"; neither is a valid
+        // trace value, and NaN would sail through every range check below
+        // (all comparisons against NaN are false).
+        if (!std::isfinite(v)) throw std::invalid_argument("non-finite value");
         return v;
     } catch (const std::exception&) {
-        throw std::runtime_error(std::string("read_trace: bad ") + what + " field '" + s + "'");
+        reject(line_no, std::string("bad ") + what + " field '" + s + "'");
     }
 }
 
-std::int64_t parse_int(const std::string& s, const char* what) {
+std::int64_t parse_int(const std::string& s, const char* what, std::size_t line_no) {
     std::int64_t v = 0;
     const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
     if (ec != std::errc{} || ptr != s.data() + s.size()) {
-        throw std::runtime_error(std::string("read_trace: bad ") + what + " field '" + s + "'");
+        reject(line_no, std::string("bad ") + what + " field '" + s + "'");
     }
     return v;
+}
+
+/// Slots travel through the CSV as int64 but live as 32-bit TimeSlot;
+/// anything outside the TimeSlot range would truncate on the cast.
+TimeSlot parse_slot(const std::string& s, const char* what, std::size_t line_no) {
+    const std::int64_t v = parse_int(s, what, line_no);
+    if (v < std::numeric_limits<TimeSlot>::min() ||
+        v > std::numeric_limits<TimeSlot>::max()) {
+        reject(line_no, std::string(what) + " out of TimeSlot range: " + s);
+    }
+    return static_cast<TimeSlot>(v);
 }
 
 }  // namespace
@@ -72,25 +93,29 @@ std::vector<Request> read_trace(std::istream& is) {
         throw std::runtime_error("read_trace: missing or wrong header");
     }
     std::vector<Request> out;
+    std::size_t line_no = 1;  // header was line 1
     while (std::getline(is, line)) {
+        ++line_no;
         if (line.empty()) continue;
         const auto fields = split_csv(line);
         if (fields.size() != 7) {
-            throw std::runtime_error("read_trace: expected 7 fields, got " +
-                                     std::to_string(fields.size()));
+            reject(line_no, "expected 7 fields, got " + std::to_string(fields.size()));
         }
         Request r;
-        r.id = RequestId{parse_int(fields[0], "id")};
-        r.vnf = VnfTypeId{parse_int(fields[1], "vnf")};
-        r.requirement = parse_double(fields[2], "requirement");
-        r.arrival = static_cast<TimeSlot>(parse_int(fields[3], "arrival"));
-        r.duration = static_cast<TimeSlot>(parse_int(fields[4], "duration"));
-        r.payment = parse_double(fields[5], "payment");
-        r.source = NodeId{parse_int(fields[6], "source")};
+        r.id = RequestId{parse_int(fields[0], "id", line_no)};
+        r.vnf = VnfTypeId{parse_int(fields[1], "vnf", line_no)};
+        r.requirement = parse_double(fields[2], "requirement", line_no);
+        r.arrival = parse_slot(fields[3], "arrival", line_no);
+        r.duration = parse_slot(fields[4], "duration", line_no);
+        r.payment = parse_double(fields[5], "payment", line_no);
+        r.source = NodeId{parse_int(fields[6], "source", line_no)};
         if (r.requirement <= 0.0 || r.requirement >= 1.0)
-            throw std::runtime_error("read_trace: requirement outside (0,1)");
-        if (r.duration < 1) throw std::runtime_error("read_trace: non-positive duration");
-        if (r.payment <= 0.0) throw std::runtime_error("read_trace: non-positive payment");
+            reject(line_no, "requirement outside (0,1): " + fields[2]);
+        if (r.arrival < 0) reject(line_no, "negative arrival: " + fields[3]);
+        if (r.duration < 1) reject(line_no, "non-positive duration: " + fields[4]);
+        if (r.arrival > std::numeric_limits<TimeSlot>::max() - r.duration)
+            reject(line_no, "arrival + duration overflows the slot range");
+        if (r.payment <= 0.0) reject(line_no, "non-positive payment: " + fields[5]);
         out.push_back(r);
     }
     return out;

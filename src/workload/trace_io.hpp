@@ -17,8 +17,11 @@ namespace vnfr::workload {
 void write_trace(std::ostream& os, const std::vector<Request>& requests);
 void write_trace_file(const std::string& path, const std::vector<Request>& requests);
 
-/// Reads a trace; throws std::runtime_error on malformed input (missing
-/// header, wrong column count, unparsable numbers, invalid field values).
+/// Reads a trace; throws std::runtime_error with the offending line number
+/// on malformed input: missing header, truncated/over-long rows, unparsable
+/// or non-finite numbers (NaN/inf), requirement outside (0,1), negative
+/// arrival, non-positive duration or payment, and slots outside the 32-bit
+/// TimeSlot range (including arrival + duration overflow).
 std::vector<Request> read_trace(std::istream& is);
 std::vector<Request> read_trace_file(const std::string& path);
 

@@ -13,6 +13,7 @@
 #include "helpers.hpp"
 #include "sim/experiment.hpp"
 #include "sim/failover_study.hpp"
+#include "sim/recovery_study.hpp"
 #include "sim/scenarios.hpp"
 
 namespace vnfr::sim {
@@ -126,6 +127,45 @@ TEST(ParallelDeterminism, FailoverReplicationsBitIdenticalAcrossThreadCounts) {
         EXPECT_EQ(parallel.total.remote_failovers, serial.total.remote_failovers);
         EXPECT_EQ(parallel.total.outages, serial.total.outages);
         expect_stats_identical(parallel.availability, serial.availability);
+    }
+}
+
+TEST(ParallelDeterminism, RecoveryReplicationsChecksumInvariant) {
+    // Acceptance criterion of the recovery orchestrator: the Monte-Carlo
+    // metrics checksum is bit-identical at 1, 2 and 8 threads, for every
+    // recovery policy.
+    common::Rng rng = common::stream_rng(0x4ec0, 0);
+    const core::Instance inst = vnfr::testing::random_instance(rng, 40, 4, 12, 10, 20);
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+
+    for (const RecoveryPolicy policy :
+         {RecoveryPolicy::kNone, RecoveryPolicy::kLocalRespawn,
+          RecoveryPolicy::kRemoteMigrate, RecoveryPolicy::kReadmit}) {
+        RecoveryStudyConfig cfg;
+        cfg.replications = 7;  // uneven blocks for every pool size
+        cfg.master_seed = 0xfeed;
+        cfg.recovery.policy = policy;
+
+        cfg.threads = 1;
+        const RecoveryStudyOutcome serial =
+            run_recovery_replications(inst, result.decisions, cfg);
+        EXPECT_GT(serial.total.request_slots, 0u);
+        EXPECT_EQ(serial.total.capacity_violations, 0u);
+
+        for (const std::size_t threads : kThreadCounts) {
+            cfg.threads = threads;
+            const RecoveryStudyOutcome parallel =
+                run_recovery_replications(inst, result.decisions, cfg);
+            EXPECT_EQ(recovery_metrics_checksum(parallel),
+                      recovery_metrics_checksum(serial))
+                << to_string(policy) << " threads=" << threads;
+            EXPECT_EQ(parallel.total.served_slots, serial.total.served_slots);
+            EXPECT_EQ(parallel.total.shed_revenue, serial.total.shed_revenue);
+            expect_stats_identical(parallel.availability, serial.availability);
+            expect_stats_identical(parallel.delivered, serial.delivered);
+            expect_stats_identical(parallel.time_to_recover, serial.time_to_recover);
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/contracts.hpp"
 #include "helpers.hpp"
 
 namespace vnfr::sim {
@@ -84,11 +85,12 @@ TEST(Experiment, OfflineBoundDominatesOnlineRevenue) {
 }
 
 TEST(Experiment, RejectsEmptyConfig) {
+    // Config validation is a contract now (VNFR_CHECK), not ad-hoc throws.
     ExperimentConfig cfg;
-    EXPECT_THROW(run_experiment(factory, cfg), std::invalid_argument);
+    EXPECT_THROW(run_experiment(factory, cfg), common::ContractViolation);
     cfg.algorithms = {Algorithm::kOnsiteGreedy};
     cfg.seeds = 0;
-    EXPECT_THROW(run_experiment(factory, cfg), std::invalid_argument);
+    EXPECT_THROW(run_experiment(factory, cfg), common::ContractViolation);
 }
 
 }  // namespace

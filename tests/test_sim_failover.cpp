@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/contracts.hpp"
 #include "core/offsite_primal_dual.hpp"
 #include "core/onsite_primal_dual.hpp"
 #include "helpers.hpp"
@@ -148,6 +151,57 @@ TEST(FailoverStudy, SizeMismatchThrows) {
     common::Rng rng(409);
     const core::Instance inst = random_instance(rng, 10, 2, 8);
     EXPECT_THROW(run_failover_study(inst, {}), std::invalid_argument);
+}
+
+TEST(FailoverStudy, RejectsNonPositiveOrNonFiniteMttr) {
+    common::Rng rng(411);
+    const core::Instance inst = random_instance(rng, 10, 2, 8);
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+    for (const double bad :
+         {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity()}) {
+        FailoverConfig cfg;
+        cfg.cloudlet_mttr_slots = bad;
+        EXPECT_THROW(run_failover_study(inst, result.decisions, cfg),
+                     common::ContractViolation)
+            << "cloudlet_mttr_slots=" << bad;
+        cfg = FailoverConfig{};
+        cfg.instance_mttr_slots = bad;
+        EXPECT_THROW(run_failover_study(inst, result.decisions, cfg),
+                     common::ContractViolation)
+            << "instance_mttr_slots=" << bad;
+    }
+}
+
+TEST(FailoverStudy, ReplicationsRejectZero) {
+    common::Rng rng(413);
+    const core::Instance inst = random_instance(rng, 10, 2, 8);
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+    FailoverStudyConfig cfg;
+    cfg.replications = 0;
+    EXPECT_THROW(run_failover_replications(inst, result.decisions, cfg),
+                 common::ContractViolation);
+}
+
+TEST(FailoverStudy, ReplicationsRejectProcessSeedOverride) {
+    // FailoverConfig::seed is a single-run knob; the Monte-Carlo path seeds
+    // every replication from master_seed. Setting the wrong knob used to be
+    // silently ignored — now it is an error.
+    common::Rng rng(415);
+    const core::Instance inst = random_instance(rng, 10, 2, 8);
+    core::OnsitePrimalDual scheduler(inst);
+    const core::ScheduleResult result = core::run_online(inst, scheduler);
+    FailoverStudyConfig cfg;
+    cfg.process.seed = 99;
+    EXPECT_THROW(run_failover_replications(inst, result.decisions, cfg),
+                 std::invalid_argument);
+    // Seeding through the supported knob works.
+    cfg = FailoverStudyConfig{};
+    cfg.master_seed = 99;
+    cfg.replications = 2;
+    EXPECT_NO_THROW(run_failover_replications(inst, result.decisions, cfg));
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+// Edge cases of the recovery orchestrator: total outages, zero residual
+// capacity, and faults landing on a request's final slot.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "sim/recovery_engine.hpp"
+#include "sim/recovery_faults.hpp"
+
+namespace vnfr::sim {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::small_instance;
+
+core::Decision admit(std::int64_t request, std::vector<core::Site> sites) {
+    core::Decision d;
+    d.admitted = true;
+    d.placement = core::Placement{RequestId{request}, std::move(sites)};
+    return d;
+}
+
+TEST(RecoveryEdge, AllCloudletsDownSimultaneously) {
+    // A rack failure spanning the whole fleet: no policy has anywhere to
+    // recover to — the engine must degrade cleanly, not crash or violate
+    // capacity.
+    const auto inst = small_instance({0.98, 0.97, 0.96}, 10.0, 8,
+                                     {make_request(0, 0, 0.9, 0, 8, 5.0)});
+    const std::vector<core::Decision> decisions = {
+        admit(0, {core::Site{CloudletId{0}, 1}})};
+    FaultSchedule schedule;
+    FaultEvent rack;
+    rack.slot = 2;
+    rack.kind = FaultKind::kRackFailure;
+    rack.cloudlet = CloudletId{0};
+    rack.span = 3;
+    rack.down_slots = 100;
+    schedule.events = {rack};
+    schedule.rack_failures = 1;
+
+    for (const RecoveryPolicy policy :
+         {RecoveryPolicy::kNone, RecoveryPolicy::kLocalRespawn,
+          RecoveryPolicy::kRemoteMigrate, RecoveryPolicy::kReadmit}) {
+        RecoveryConfig cfg;
+        cfg.policy = policy;
+        const RecoveryReport r = run_recovery_study(inst, decisions, schedule, cfg);
+        EXPECT_EQ(r.rack_failures, 1u) << to_string(policy);
+        EXPECT_EQ(r.instances_lost, 1u) << to_string(policy);
+        EXPECT_EQ(r.served_slots, 2u) << to_string(policy);  // slots 0..1 only
+        EXPECT_EQ(r.disrupted_slots, 6u) << to_string(policy);
+        EXPECT_EQ(r.local_respawns + r.remote_migrations + r.readmissions, 0u)
+            << to_string(policy);
+        EXPECT_EQ(r.capacity_violations, 0u) << to_string(policy);
+        EXPECT_EQ(r.sla_violations, 1u) << to_string(policy);
+    }
+    // The request-level policies burned bounded retries against the outage.
+    RecoveryConfig cfg;
+    cfg.policy = RecoveryPolicy::kRemoteMigrate;
+    const RecoveryReport r = run_recovery_study(inst, decisions, schedule, cfg);
+    EXPECT_GT(r.failed_recoveries, 0u);
+    EXPECT_LE(r.failed_recoveries, static_cast<std::size_t>(cfg.max_retries));
+}
+
+TEST(RecoveryEdge, ZeroResidualCapacityBlocksRemoteMigrate) {
+    // The only surviving cloudlet is completely full and shedding is off:
+    // kRemoteMigrate must fail gracefully without touching the occupant.
+    const auto inst = small_instance({0.98, 0.97}, 2.0, 8,
+                                     {make_request(0, 1, 0.8, 0, 8, 1.0),
+                                      make_request(1, 0, 0.9, 0, 8, 10.0)});
+    const std::vector<core::Decision> decisions = {
+        admit(0, {core::Site{CloudletId{1}, 1}}),   // compute 2: c1 is full
+        admit(1, {core::Site{CloudletId{0}, 1}})};
+    FaultSchedule schedule;
+    FaultEvent crash;
+    crash.slot = 2;
+    crash.kind = FaultKind::kCloudletCrash;
+    crash.cloudlet = CloudletId{0};
+    crash.down_slots = 100;
+    schedule.events = {crash};
+    schedule.cloudlet_crashes = 1;
+
+    RecoveryConfig cfg;
+    cfg.policy = RecoveryPolicy::kRemoteMigrate;
+    cfg.allow_shedding = false;
+    const RecoveryReport r = run_recovery_study(inst, decisions, schedule, cfg);
+    EXPECT_EQ(r.remote_migrations, 0u);
+    EXPECT_EQ(r.shed_requests, 0u);
+    EXPECT_GT(r.failed_recoveries, 0u);
+    EXPECT_LE(r.failed_recoveries, static_cast<std::size_t>(cfg.max_retries));
+    EXPECT_EQ(r.capacity_violations, 0u);
+    // The occupant kept its full window; the victim of the crash lost the
+    // remainder of its own.
+    EXPECT_EQ(r.served_slots, 8u + 2u);
+}
+
+TEST(RecoveryEdge, FailureOnFinalSlotRecoversOnlyWithInstantRespawn) {
+    // The crash lands on the request's last slot. With one slot of spin-up
+    // there is nothing left to win (the respawn is booked but never
+    // serves); with instant respawn the final slot itself is saved.
+    const auto inst =
+        small_instance({0.98, 0.97}, 10.0, 6, {make_request(0, 0, 0.9, 0, 5, 5.0)});
+    const std::vector<core::Decision> decisions = {
+        admit(0, {core::Site{CloudletId{0}, 1}})};
+    FaultSchedule schedule;
+    FaultEvent crash;
+    crash.slot = 4;  // request window is [0, 5): slot 4 is the last one
+    crash.kind = FaultKind::kInstanceCrash;
+    crash.request_index = 0;
+    crash.site = 0;
+    crash.replica = 0;
+    schedule.events = {crash};
+    schedule.instance_crashes = 1;
+
+    RecoveryConfig cfg;
+    cfg.policy = RecoveryPolicy::kLocalRespawn;
+    const RecoveryReport delayed = run_recovery_study(inst, decisions, schedule, cfg);
+    EXPECT_EQ(delayed.served_slots, 4u);
+    EXPECT_EQ(delayed.disrupted_slots, 1u);
+    EXPECT_EQ(delayed.local_respawns, 1u);  // booked, but spins up past the end
+    EXPECT_EQ(delayed.recovered_outages, 0u);
+    EXPECT_EQ(delayed.capacity_violations, 0u);
+
+    cfg.respawn_delay_slots = 0;
+    const RecoveryReport instant = run_recovery_study(inst, decisions, schedule, cfg);
+    EXPECT_EQ(instant.served_slots, 5u);
+    EXPECT_EQ(instant.disrupted_slots, 0u);
+    EXPECT_EQ(instant.sla_violations, 0u);
+
+    cfg = RecoveryConfig{};
+    cfg.policy = RecoveryPolicy::kRemoteMigrate;
+    cfg.respawn_delay_slots = 0;
+    const RecoveryReport migrated = run_recovery_study(inst, decisions, schedule, cfg);
+    EXPECT_EQ(migrated.served_slots, 5u);
+    EXPECT_EQ(migrated.capacity_violations, 0u);
+}
+
+TEST(RecoveryEdge, FaultsAfterTheWindowAreNoOps) {
+    const auto inst =
+        small_instance({0.98}, 10.0, 8, {make_request(0, 0, 0.9, 0, 4, 5.0)});
+    const std::vector<core::Decision> decisions = {
+        admit(0, {core::Site{CloudletId{0}, 1}})};
+    FaultSchedule schedule;
+    FaultEvent crash;
+    crash.slot = 6;  // request ended at slot 4
+    crash.kind = FaultKind::kCloudletCrash;
+    crash.cloudlet = CloudletId{0};
+    crash.down_slots = 2;
+    schedule.events = {crash};
+    schedule.cloudlet_crashes = 1;
+    FaultEvent dangling;
+    dangling.slot = 6;
+    dangling.kind = FaultKind::kInstanceCrash;
+    dangling.request_index = 0;
+    schedule.events.push_back(dangling);
+    schedule.instance_crashes = 1;
+
+    const RecoveryReport r =
+        run_recovery_study(inst, decisions, schedule, RecoveryConfig{});
+    EXPECT_EQ(r.served_slots, 4u);
+    EXPECT_EQ(r.disrupted_slots, 0u);
+    EXPECT_EQ(r.instances_lost, 0u);
+    EXPECT_EQ(r.instance_crashes, 0u);  // landed outside the window: not applied
+    EXPECT_EQ(r.sla_violations, 0u);
+}
+
+}  // namespace
+}  // namespace vnfr::sim

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/instance.hpp"
 #include "core/offline.hpp"
 #include "net/topology_zoo.hpp"
@@ -24,6 +25,7 @@
 #include "report/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
+#include "sim/recovery_study.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace_io.hpp"
 
@@ -47,6 +49,8 @@ struct Options {
     std::size_t seeds{1};
     bool offline_bound{false};
     bool inject_failures{false};
+    std::optional<sim::RecoveryPolicy> recovery;
+    std::size_t fault_replications{3};
     bool csv{false};
     std::string write_trace;
     std::string read_trace;
@@ -78,6 +82,11 @@ Execution:
   --seeds K                 independent repetitions              [1]
   --offline-bound           also compute the offline LP bound (both schemes)
   --inject-failures         per-slot failure injection, report availability
+  --recovery POLICY         replay each schedule through the fault-injection
+                            runtime: none | local-respawn | remote-migrate |
+                            readmit; reports delivered availability, time to
+                            recover and shed revenue
+  --fault-replications K    Monte-Carlo fault schedules per seed      [3]
 
 Output:
   --csv                     machine-readable CSV instead of a table
@@ -134,6 +143,16 @@ Options parse_args(int argc, char** argv) {
         else if (flag == "--seeds") opt.seeds = std::stoul(need_value(i, flag));
         else if (flag == "--offline-bound") opt.offline_bound = true;
         else if (flag == "--inject-failures") opt.inject_failures = true;
+        else if (flag == "--recovery") {
+            const std::string name = need_value(i, flag);
+            if (name == "none") opt.recovery = sim::RecoveryPolicy::kNone;
+            else if (name == "local-respawn") opt.recovery = sim::RecoveryPolicy::kLocalRespawn;
+            else if (name == "remote-migrate") opt.recovery = sim::RecoveryPolicy::kRemoteMigrate;
+            else if (name == "readmit") opt.recovery = sim::RecoveryPolicy::kReadmit;
+            else throw std::invalid_argument("unknown recovery policy '" + name +
+                                             "' (see --help)");
+        } else if (flag == "--fault-replications")
+            opt.fault_replications = std::stoul(need_value(i, flag));
         else if (flag == "--csv") opt.csv = true;
         else if (flag == "--write-trace") opt.write_trace = need_value(i, flag);
         else if (flag == "--read-trace") opt.read_trace = need_value(i, flag);
@@ -185,6 +204,12 @@ struct AlgorithmAggregate {
     common::RunningStats availability;
     common::RunningStats empirical;
     common::RunningStats access_hops;
+    // --recovery: the schedule replayed through the fault-injection runtime.
+    common::RunningStats recovery_delivered;
+    common::RunningStats recovery_ttr;
+    common::RunningStats recovery_shed;
+    common::RunningStats recovery_sla_rate;
+    bool recovery_unavailable{false};  ///< schedule not replayable (pure Alg. 1)
 };
 
 int run(const Options& opt) {
@@ -235,6 +260,28 @@ int run(const Options& opt) {
             agg.availability.add(stats.mean_availability);
             if (opt.inject_failures) agg.empirical.add(report.empirical_availability());
             agg.access_hops.add(stats.mean_access_hops);
+            if (opt.recovery) {
+                sim::RecoveryStudyConfig recovery_cfg;
+                recovery_cfg.recovery.policy = *opt.recovery;
+                recovery_cfg.replications = opt.fault_replications;
+                recovery_cfg.master_seed = common::stream_seed(opt.seed, 1000 + k);
+                try {
+                    const sim::RecoveryStudyOutcome outcome = sim::run_recovery_replications(
+                        instance, report.schedule.decisions, recovery_cfg);
+                    agg.recovery_delivered.add(outcome.total.availability());
+                    agg.recovery_ttr.add(outcome.total.mean_time_to_recover());
+                    agg.recovery_shed.add(outcome.total.shed_revenue);
+                    agg.recovery_sla_rate.add(
+                        outcome.total.sla_requests == 0
+                            ? 0.0
+                            : static_cast<double>(outcome.total.sla_violations) /
+                                  static_cast<double>(outcome.total.sla_requests));
+                } catch (const std::invalid_argument&) {
+                    // Pure Algorithm 1 schedules can overbook capacity and
+                    // are not replayable through the enforcing ledger.
+                    agg.recovery_unavailable = true;
+                }
+            }
         }
         if (opt.offline_bound) {
             onsite_bound.add(
@@ -248,26 +295,51 @@ int run(const Options& opt) {
 
     if (opt.csv) {
         report::CsvWriter writer(std::cout);
-        writer.write_header({"algorithm", "revenue", "revenue_ci95", "acceptance",
-                             "availability", "empirical_availability", "access_hops"});
+        std::vector<std::string> header{"algorithm",    "revenue",
+                                        "revenue_ci95", "acceptance",
+                                        "availability", "empirical_availability",
+                                        "access_hops"};
+        if (opt.recovery) {
+            header.insert(header.end(),
+                          {"recovery_availability", "recovery_ttr",
+                           "recovery_shed_revenue", "recovery_sla_violation_rate"});
+        }
+        writer.write_header(header);
         for (std::size_t ai = 0; ai < algorithms.size(); ++ai) {
             const AlgorithmAggregate& agg = aggregates[ai];
-            writer.write_row(std::vector<std::string>{
+            std::vector<std::string> row{
                 std::string(sim::algorithm_name(algorithms[ai])),
                 std::to_string(agg.revenue.mean()),
                 std::to_string(agg.revenue.ci95_halfwidth()),
                 std::to_string(agg.acceptance.mean()),
                 std::to_string(agg.availability.mean()),
                 std::to_string(agg.empirical.mean()),
-                std::to_string(agg.access_hops.mean())});
+                std::to_string(agg.access_hops.mean())};
+            if (opt.recovery) {
+                if (agg.recovery_unavailable) {
+                    row.insert(row.end(), {"", "", "", ""});
+                } else {
+                    row.insert(row.end(),
+                               {std::to_string(agg.recovery_delivered.mean()),
+                                std::to_string(agg.recovery_ttr.mean()),
+                                std::to_string(agg.recovery_shed.mean()),
+                                std::to_string(agg.recovery_sla_rate.mean())});
+                }
+            }
+            writer.write_row(row);
         }
         if (opt.offline_bound) {
-            writer.write_row(std::vector<std::string>{
+            const std::size_t padding = header.size() - 3;
+            std::vector<std::string> onsite_row{
                 "offline-bound-onsite", std::to_string(onsite_bound.mean()),
-                std::to_string(onsite_bound.ci95_halfwidth()), "", "", "", ""});
-            writer.write_row(std::vector<std::string>{
+                std::to_string(onsite_bound.ci95_halfwidth())};
+            std::vector<std::string> offsite_row{
                 "offline-bound-offsite", std::to_string(offsite_bound.mean()),
-                std::to_string(offsite_bound.ci95_halfwidth()), "", "", "", ""});
+                std::to_string(offsite_bound.ci95_halfwidth())};
+            onsite_row.resize(3 + padding);
+            offsite_row.resize(3 + padding);
+            writer.write_row(onsite_row);
+            writer.write_row(offsite_row);
         }
         return 0;
     }
@@ -295,6 +367,28 @@ int run(const Options& opt) {
                        report::format_double(offsite_bound.mean(), 1), "-", "-", "-", "-"});
     }
     std::cout << table.to_text();
+
+    if (opt.recovery) {
+        std::cout << "\nrecovery (policy=" << sim::to_string(*opt.recovery) << ", "
+                  << opt.fault_replications << " fault replication(s) per seed):\n\n";
+        report::Table recovery_table({"algorithm", "delivered avail", "mean ttr",
+                                      "shed revenue", "sla violation rate"});
+        for (std::size_t ai = 0; ai < algorithms.size(); ++ai) {
+            const AlgorithmAggregate& agg = aggregates[ai];
+            if (agg.recovery_unavailable) {
+                recovery_table.add_row({std::string(sim::algorithm_name(algorithms[ai])),
+                                        "not replayable", "-", "-", "-"});
+                continue;
+            }
+            recovery_table.add_row(
+                {std::string(sim::algorithm_name(algorithms[ai])),
+                 report::format_double(agg.recovery_delivered.mean(), 4),
+                 report::format_double(agg.recovery_ttr.mean(), 2),
+                 report::format_double(agg.recovery_shed.mean(), 1),
+                 report::format_double(agg.recovery_sla_rate.mean(), 3)});
+        }
+        std::cout << recovery_table.to_text();
+    }
     return 0;
 }
 
