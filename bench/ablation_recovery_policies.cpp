@@ -31,12 +31,6 @@ using namespace vnfr;
 
 namespace {
 
-std::string hex64(std::uint64_t v) {
-    char buf[19];
-    std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
-    return buf;
-}
-
 constexpr sim::RecoveryPolicy kPolicies[] = {
     sim::RecoveryPolicy::kNone, sim::RecoveryPolicy::kLocalRespawn,
     sim::RecoveryPolicy::kRemoteMigrate, sim::RecoveryPolicy::kReadmit};
@@ -148,7 +142,7 @@ int main(int argc, char** argv) {
     doc.set("requests", requests);
     doc.set("admitted", schedule.admitted);
     doc.set("replications", replications);
-    doc.set("master_seed", hex64(master));
+    doc.set("master_seed", report::hex_u64(master));
     report::JsonValue fault_json = report::JsonValue::object();
     fault_json.set("cloudlet_crash_per_slot", faults.cloudlet_crash_per_slot);
     fault_json.set("instance_crash_per_slot", faults.instance_crash_per_slot);
@@ -182,7 +176,7 @@ int main(int argc, char** argv) {
         row.set("sla_violations", t.sla_violations);
         row.set("sla_requests", t.sla_requests);
         row.set("capacity_violations", t.capacity_violations);
-        row.set("metrics_checksum", hex64(r.checksum));
+        row.set("metrics_checksum", report::hex_u64(r.checksum));
         policies_json.push(std::move(row));
     }
     doc.set("policies", std::move(policies_json));

@@ -39,12 +39,6 @@ struct ThreadResult {
     double revenue_sum{0};  ///< summed admitted revenue over the whole sweep
 };
 
-std::string hex64(std::uint64_t v) {
-    char buf[19];
-    std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
-    return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,7 +86,7 @@ int main(int argc, char** argv) {
         const ThreadResult& r = results.back();
         std::cout << "threads=" << r.threads << "  wall=" << r.seconds << "s"
                   << "  speedup=" << results.front().seconds / r.seconds
-                  << "  checksum=" << hex64(r.checksum) << '\n';
+                  << "  checksum=" << report::hex_u64(r.checksum) << '\n';
     }
 
     bool identical = true;
@@ -118,7 +112,7 @@ int main(int argc, char** argv) {
         row.set("threads", r.threads);
         row.set("wall_seconds", r.seconds);
         row.set("speedup_vs_serial", results.front().seconds / r.seconds);
-        row.set("metrics_checksum", hex64(r.checksum));
+        row.set("metrics_checksum", report::hex_u64(r.checksum));
         row.set("admitted_revenue_sum", r.revenue_sum);
         results_json.push(std::move(row));
     }

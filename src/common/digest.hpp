@@ -1,0 +1,52 @@
+// Order-sensitive 64-bit digests over metrics and controller state.
+//
+// One shared construction — FNV-1a over the raw bytes of each mixed-in
+// value, doubles contributed as their IEEE-754 bit patterns — so every
+// checksum in the repo (experiment aggregates, recovery reports, the
+// admission controller's durable state) collides only on bit-identical
+// inputs and is comparable across thread counts, restarts and processes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace vnfr::common {
+
+/// Incremental FNV-1a mixer. Mix order matters: two digests agree only
+/// when the same values were mixed in the same order.
+class Fnv1a {
+  public:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    Fnv1a& mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xffULL;
+            hash_ *= kPrime;
+        }
+        return *this;
+    }
+
+    Fnv1a& mix(double v) { return mix(std::bit_cast<std::uint64_t>(v)); }
+
+    /// Every aggregate of a RunningStats accumulator: count and the raw
+    /// bit patterns of sum/mean/variance/min/max.
+    Fnv1a& mix(const RunningStats& s) {
+        mix(static_cast<std::uint64_t>(s.count()));
+        mix(s.sum());
+        mix(s.mean());
+        mix(s.variance());
+        mix(s.min());
+        mix(s.max());
+        return *this;
+    }
+
+    [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_{kOffsetBasis};
+};
+
+}  // namespace vnfr::common

@@ -1,0 +1,23 @@
+// Saturation ceiling for the multiplicative dual-price updates.
+//
+// Eq. 34 / Eq. 67 grow lambda_{tj} by a factor > 1 on every admission plus
+// an additive term proportional to the payment. On long traces that pound
+// a single cloudlet with escalating payments the recursion is unbounded:
+// left alone it overflows to +inf, after which every price comparison in
+// decide() degenerates (pay - inf <= 0 rejects everything forever, and a
+// release build without DCHECKs would never notice).
+//
+// Saturating at kDualPriceCeiling is behaviour-preserving for any real
+// workload: payments are bounded by the double range, and a slot whose
+// lambda has reached 1e30 already prices out every representable payment
+// (price >= demand * lambda with demand >= 1), so values beyond the
+// ceiling carry no additional information. The ceiling leaves ample
+// headroom for the price summation over a request window (demand ~ 1e3,
+// duration ~ 1e3 slots => price <= ~1e36, comfortably finite).
+#pragma once
+
+namespace vnfr::core {
+
+inline constexpr double kDualPriceCeiling = 1e30;
+
+}  // namespace vnfr::core

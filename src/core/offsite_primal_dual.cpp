@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/math.hpp"
+#include "core/dual_limits.hpp"
 #include "vnf/reliability.hpp"
 
 namespace vnfr::core {
@@ -43,6 +44,17 @@ OffsitePrimalDual::OffsitePrimalDual(const Instance& instance,
         throw std::invalid_argument("OffsitePrimalDual: negative dual_capacity_scale");
     dual_scale_ = config.dual_capacity_scale > 0.0 ? config.dual_capacity_scale
                                                    : estimate_typical_demand(instance);
+}
+
+SchedulerState OffsitePrimalDual::export_state() const {
+    return SchedulerState{lambda_, ledger_.usage_table()};
+}
+
+void OffsitePrimalDual::import_state(const SchedulerState& state) {
+    validate_scheduler_state(state, instance_.network.cloudlet_count(),
+                             instance_.horizon);
+    ledger_.restore_usage(state.usage);
+    lambda_ = state.lambda;
 }
 
 double OffsitePrimalDual::lambda(CloudletId j, TimeSlot t) const {
@@ -175,9 +187,13 @@ Decision OffsitePrimalDual::decide(const workload::Request& request) {
         auto& lam = lambda_[j.index()];
         for (TimeSlot t = request.arrival; t < request.end(); ++t) {
             auto& value = lam[static_cast<std::size_t>(t)];
-            value = value * mult + add;
-            VNFR_DCHECK(std::isfinite(value) && value >= 0.0,
-                        "Eq. (67) dual update for ", j.value, " slot ", t);
+            double updated = value * mult + add;
+            // Saturate as in Eq. 34 (see core/dual_limits.hpp): past the
+            // ceiling the slot prices out every representable payment, and
+            // the unbounded recursion would overflow on long traces.
+            if (!(updated < kDualPriceCeiling)) updated = kDualPriceCeiling;
+            value = VNFR_CHECK_FINITE(updated);
+            VNFR_DCHECK(value >= 0.0, "Eq. (67) dual update for ", j.value, " slot ", t);
         }
     }
 

@@ -60,6 +60,14 @@ class OffsitePrimalDual final : public OnlineScheduler {
     /// The capacity scale actually used in the dual updates.
     [[nodiscard]] double dual_capacity_scale() const { return dual_scale_; }
 
+    /// State export/import for the serve layer's crash-consistent
+    /// checkpointing: decide() is a deterministic function of (instance,
+    /// config, lambda, ledger usage), so a restored scheduler reproduces
+    /// every future decision bit-identically.
+    [[nodiscard]] bool supports_state_io() const override { return true; }
+    [[nodiscard]] SchedulerState export_state() const override;
+    void import_state(const SchedulerState& state) override;
+
   private:
     const Instance& instance_;
     edge::ResourceLedger ledger_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/contracts.hpp"
+#include "core/dual_limits.hpp"
 #include "vnf/reliability.hpp"
 
 namespace vnfr::core {
@@ -49,6 +50,18 @@ OnsitePrimalDual::OnsitePrimalDual(const Instance& instance, OnsitePrimalDualCon
     } else {
         dual_scale_ = 1.0;  // Theorem 1 analyses the literal Eq. 34
     }
+}
+
+SchedulerState OnsitePrimalDual::export_state() const {
+    return SchedulerState{lambda_, ledger_.usage_table()};
+}
+
+void OnsitePrimalDual::import_state(const SchedulerState& state) {
+    validate_scheduler_state(state, instance_.network.cloudlet_count(),
+                             instance_.horizon);
+    ledger_.restore_usage(state.usage);
+    lambda_ = state.lambda;
+    deltas_.clear();
 }
 
 std::string_view OnsitePrimalDual::name() const {
@@ -155,11 +168,16 @@ Decision OnsitePrimalDual::decide(const workload::Request& request) {
     auto& lam = lambda_[best.index()];
     for (TimeSlot t = request.arrival; t < request.end(); ++t) {
         auto& value = lam[static_cast<std::size_t>(t)];
-        value = value * mult + add;
+        double updated = value * mult + add;
+        // Saturate the multiplicative recursion (see core/dual_limits.hpp):
+        // beyond the ceiling every representable payment is priced out
+        // anyway, and 10^6-request single-cloudlet traces would otherwise
+        // overflow to +inf. !(x < c) also catches an inf/NaN intermediate.
+        if (!(updated < kDualPriceCeiling)) updated = kDualPriceCeiling;
+        value = VNFR_CHECK_FINITE(updated);
         // Eq. (34) is multiplicative with mult > 1 and add > 0, so lambda
-        // stays finite and monotonically non-negative.
-        VNFR_DCHECK(std::isfinite(value) && value >= 0.0, "Eq. (34) dual update for ",
-                    best.value, " slot ", t);
+        // stays monotonically non-negative.
+        VNFR_DCHECK(value >= 0.0, "Eq. (34) dual update for ", best.value, " slot ", t);
     }
 
     Decision d;

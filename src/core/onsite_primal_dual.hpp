@@ -78,6 +78,15 @@ class OnsitePrimalDual final : public OnlineScheduler {
     /// pure variant; the configured or auto-derived value otherwise).
     [[nodiscard]] double dual_capacity_scale() const { return dual_scale_; }
 
+    /// State export/import for the serve layer's crash-consistent
+    /// checkpointing: decide() is a deterministic function of (instance,
+    /// config, lambda, ledger usage), so a restored scheduler reproduces
+    /// every future decision bit-identically. import_state resets deltas()
+    /// (analysis-only output, not decision state).
+    [[nodiscard]] bool supports_state_io() const override { return true; }
+    [[nodiscard]] SchedulerState export_state() const override;
+    void import_state(const SchedulerState& state) override;
+
   private:
     const Instance& instance_;
     OnsitePrimalDualConfig config_;

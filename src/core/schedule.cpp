@@ -1,11 +1,58 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/instance.hpp"
 
 namespace vnfr::core {
+
+void validate_scheduler_state(const SchedulerState& state, std::size_t cloudlets,
+                              TimeSlot horizon) {
+    const auto slots = static_cast<std::size_t>(horizon);
+    if (state.lambda.size() != cloudlets) {
+        throw std::invalid_argument(
+            "SchedulerState: " + std::to_string(state.lambda.size()) +
+            " lambda rows for " + std::to_string(cloudlets) + " cloudlets");
+    }
+    for (std::size_t j = 0; j < cloudlets; ++j) {
+        if (state.lambda[j].size() != slots) {
+            throw std::invalid_argument(
+                "SchedulerState: lambda row " + std::to_string(j) + " has " +
+                std::to_string(state.lambda[j].size()) + " slots, expected " +
+                std::to_string(slots));
+        }
+        for (std::size_t t = 0; t < slots; ++t) {
+            const double v = state.lambda[j][t];
+            if (!std::isfinite(v) || v < 0.0) {
+                throw std::invalid_argument("SchedulerState: lambda[" + std::to_string(j) +
+                                            "][" + std::to_string(t) +
+                                            "] is not a finite non-negative price");
+            }
+        }
+    }
+    if (state.usage.size() != cloudlets * slots) {
+        throw std::invalid_argument(
+            "SchedulerState: usage table has " + std::to_string(state.usage.size()) +
+            " cells, expected " + std::to_string(cloudlets * slots));
+    }
+    for (std::size_t i = 0; i < state.usage.size(); ++i) {
+        if (!std::isfinite(state.usage[i]) || state.usage[i] < 0.0) {
+            throw std::invalid_argument("SchedulerState: usage cell " + std::to_string(i) +
+                                        " is not a finite non-negative amount");
+        }
+    }
+}
+
+SchedulerState OnlineScheduler::export_state() const {
+    throw std::logic_error(std::string(name()) + " does not support state export");
+}
+
+void OnlineScheduler::import_state(const SchedulerState&) {
+    throw std::logic_error(std::string(name()) + " does not support state import");
+}
 
 double Placement::compute_per_slot(double per_instance) const {
     double total = 0.0;

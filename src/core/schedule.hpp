@@ -51,6 +51,23 @@ struct Decision {
     Placement placement;  ///< meaningful only when admitted
 };
 
+/// Serializable snapshot of an online scheduler's mutable state: the dual
+/// price matrix and the ledger's usage table. For the primal-dual
+/// schedulers decide() is a deterministic function of (instance, config,
+/// this state), so exporting and later importing a SchedulerState yields
+/// bit-identical future decisions — the property the serve layer's
+/// crash-consistent checkpointing is built on.
+struct SchedulerState {
+    std::vector<std::vector<double>> lambda;  ///< [cloudlet][slot] dual prices
+    std::vector<double> usage;  ///< row-major [cloudlet][slot] ledger usage
+};
+
+/// Throws std::invalid_argument (with the offending index) unless `state`
+/// has exactly `cloudlets` lambda rows of `horizon` entries each, a usage
+/// table of cloudlets * horizon cells, and every value finite and >= 0.
+void validate_scheduler_state(const SchedulerState& state, std::size_t cloudlets,
+                              TimeSlot horizon);
+
 /// Every online algorithm implements this. `decide` must be called exactly
 /// once per request, in arrival order; the scheduler updates its internal
 /// ledger/dual state as a side effect.
@@ -65,6 +82,21 @@ class OnlineScheduler {
     [[nodiscard]] virtual const edge::ResourceLedger& ledger() const = 0;
 
     [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /// True when this scheduler implements export_state()/import_state()
+    /// (the primal-dual schedulers do; heuristics without serializable
+    /// state keep the default false).
+    [[nodiscard]] virtual bool supports_state_io() const { return false; }
+
+    /// Snapshot of the mutable decision state. Default throws
+    /// std::logic_error; overridden where supports_state_io() is true.
+    [[nodiscard]] virtual SchedulerState export_state() const;
+
+    /// Restore a previously exported state (validated against the bound
+    /// instance's shape; throws std::invalid_argument on mismatch).
+    /// Analysis-only side outputs (e.g. OnsitePrimalDual::deltas()) reset
+    /// to empty — they are not part of the decision state.
+    virtual void import_state(const SchedulerState& state);
 };
 
 /// Outcome of replaying a full request sequence through a scheduler.

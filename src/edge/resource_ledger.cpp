@@ -1,7 +1,9 @@
 #include "edge/resource_ledger.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/contracts.hpp"
 
@@ -105,6 +107,30 @@ double ResourceLedger::max_overshoot() const {
         worst = std::max(worst, peak_overshoot(CloudletId{static_cast<std::int64_t>(j)}));
     }
     return worst;
+}
+
+void ResourceLedger::restore_usage(std::vector<double> usage) {
+    if (usage.size() != usage_.size()) {
+        throw std::invalid_argument("ResourceLedger::restore_usage: table has " +
+                                    std::to_string(usage.size()) + " cells, expected " +
+                                    std::to_string(usage_.size()));
+    }
+    const auto slots = static_cast<std::size_t>(horizon_);
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+        const double v = usage[i];
+        if (!std::isfinite(v) || v < 0.0) {
+            throw std::invalid_argument("ResourceLedger::restore_usage: cell " +
+                                        std::to_string(i) +
+                                        " is not a finite non-negative amount");
+        }
+        if (policy_ == CapacityPolicy::kEnforce && v > capacities_[i / slots] + 1e-9) {
+            throw std::invalid_argument(
+                "ResourceLedger::restore_usage: cell " + std::to_string(i) + " usage " +
+                std::to_string(v) + " exceeds capacity " +
+                std::to_string(capacities_[i / slots]));
+        }
+    }
+    usage_ = std::move(usage);
 }
 
 double ResourceLedger::mean_utilization(CloudletId c) const {

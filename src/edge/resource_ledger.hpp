@@ -56,6 +56,17 @@ class ResourceLedger {
     /// usage / capacity averaged over slots [0, horizon) for cloudlet c.
     [[nodiscard]] double mean_utilization(CloudletId c) const;
 
+    /// The raw row-major [cloudlet][slot] usage table — the ledger half of
+    /// a scheduler state export.
+    [[nodiscard]] const std::vector<double>& usage_table() const { return usage_; }
+
+    /// Replace the usage table wholesale (state import). Validates the
+    /// size and that every cell is finite and non-negative; under kEnforce
+    /// additionally that no cell exceeds its cloudlet's capacity (with the
+    /// same epsilon fits() uses). Throws std::invalid_argument, leaving
+    /// the ledger untouched, on any violation.
+    void restore_usage(std::vector<double> usage);
+
   private:
     void check_range(CloudletId c, TimeSlot begin, TimeSlot end, double amount) const;
     [[nodiscard]] double& cell(CloudletId c, TimeSlot t);

@@ -143,4 +143,10 @@ std::string JsonValue::dump(int indent) const {
     return out;
 }
 
+std::string hex_u64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
 }  // namespace vnfr::report

@@ -62,4 +62,8 @@ class JsonValue {
 /// Escapes a string for embedding in JSON (quotes not included).
 std::string json_escape(const std::string& s);
 
+/// "0x%016x" rendering of a 64-bit checksum/digest — JSON numbers cannot
+/// hold them losslessly, so artifacts carry them as hex strings.
+std::string hex_u64(std::uint64_t v);
+
 }  // namespace vnfr::report

@@ -1,0 +1,366 @@
+#include "serve/admission_controller.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/digest.hpp"
+#include "core/offsite_primal_dual.hpp"
+#include "core/onsite_primal_dual.hpp"
+
+namespace vnfr::serve {
+
+namespace {
+
+std::unique_ptr<core::OnlineScheduler> make_scheduler(const core::Instance& instance,
+                                                      core::Scheme scheme) {
+    if (scheme == core::Scheme::kOnsite) {
+        return std::make_unique<core::OnsitePrimalDual>(instance);
+    }
+    return std::make_unique<core::OffsitePrimalDual>(instance);
+}
+
+bool is_directory(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+std::uint64_t instance_config_digest(const core::Instance& instance,
+                                     core::Scheme scheme) {
+    common::Fnv1a digest;
+    digest.mix(static_cast<std::uint64_t>(scheme));
+    digest.mix(static_cast<std::uint64_t>(instance.network.cloudlet_count()));
+    digest.mix(static_cast<std::uint64_t>(instance.horizon));
+    for (const edge::Cloudlet& c : instance.network.cloudlets()) {
+        digest.mix(c.capacity);
+        digest.mix(c.reliability);
+    }
+    digest.mix(static_cast<std::uint64_t>(instance.catalog.size()));
+    for (const vnf::VnfType& type : instance.catalog.types()) {
+        digest.mix(type.compute_units);
+        digest.mix(type.reliability);
+    }
+    return digest.value();
+}
+
+AdmissionController::AdmissionController(const core::Instance& instance,
+                                         core::Scheme scheme, ServeConfig config)
+    : instance_(instance), scheme_(scheme), config_(std::move(config)) {
+    if (config_.data_dir.empty() || !is_directory(config_.data_dir)) {
+        throw std::invalid_argument("AdmissionController: data_dir '" +
+                                    config_.data_dir + "' is not a directory");
+    }
+    if (config_.checkpoint_every == 0) {
+        throw std::invalid_argument("AdmissionController: checkpoint_every must be >= 1");
+    }
+    if (config_.queue_capacity == 0) {
+        throw std::invalid_argument("AdmissionController: queue_capacity must be >= 1");
+    }
+    config_digest_ = instance_config_digest(instance_, scheme_);
+    scheduler_ = make_scheduler(instance_, scheme_);
+    VNFR_CHECK(scheduler_->supports_state_io(),
+               "serve layer requires a scheduler with state export/import");
+    recover();
+}
+
+std::string AdmissionController::snapshot_path() const {
+    return config_.data_dir + "/snapshot.bin";
+}
+
+std::string AdmissionController::wal_path(std::uint64_t generation) const {
+    return config_.data_dir + "/wal-" + std::to_string(generation) + ".log";
+}
+
+void AdmissionController::recover() {
+    const std::string snap_path = snapshot_path();
+    if (file_exists(snap_path)) {
+        ControllerSnapshot snap = load_snapshot(snap_path);
+        if (snap.config_digest != config_digest_) {
+            throw CorruptStateError(snap_path, 0,
+                                    "snapshot was saved for a different instance/scheme "
+                                    "(config digest mismatch)");
+        }
+        if (snap.scheme != static_cast<std::uint8_t>(scheme_) ||
+            snap.cloudlets != instance_.network.cloudlet_count() ||
+            snap.horizon != static_cast<std::uint64_t>(instance_.horizon)) {
+            throw CorruptStateError(snap_path, 0,
+                                    "snapshot shape disagrees with the bound instance");
+        }
+        scheduler_->import_state(
+            core::SchedulerState{std::move(snap.lambda), std::move(snap.usage)});
+        metrics_ = snap.metrics;
+        admitted_ = std::move(snap.admitted);
+        covered_watermark_ = snap.covered_watermark;
+        covered_sparse_.clear();
+        covered_sparse_.insert(snap.covered_sparse.begin(), snap.covered_sparse.end());
+        wal_seq_ = snap.wal_seq;
+    }
+    // Without a snapshot the controller starts from generation 0 with
+    // default state; a crash before the first checkpoint leaves exactly
+    // wal-0.log to replay.
+    const std::string path = wal_path(wal_seq_);
+    if (file_exists(path)) {
+        WalContents contents = read_wal(path, WalReadMode::kRecover);
+        if (contents.wal_seq != wal_seq_) {
+            throw CorruptStateError(path, 0,
+                                    "WAL generation " + std::to_string(contents.wal_seq) +
+                                        " does not match the snapshot's " +
+                                        std::to_string(wal_seq_));
+        }
+        if (contents.config_digest != config_digest_) {
+            throw CorruptStateError(path, 0,
+                                    "WAL was written for a different instance/scheme "
+                                    "(config digest mismatch)");
+        }
+        for (const WalRecord& rec : contents.records) replay_record(rec, path);
+        wal_records_ = contents.records.size();
+        wal_.emplace(WalWriter::append_to(path, contents.valid_size));
+    } else {
+        // Legal crash window: the snapshot was renamed in but the next
+        // WAL generation was never created — the snapshot alone is the
+        // complete durable state.
+        wal_.emplace(WalWriter::create(path, wal_seq_, config_digest_));
+        wal_records_ = 0;
+    }
+    remove_stale_wals();
+}
+
+void AdmissionController::remove_stale_wals() const {
+    DIR* dir = ::opendir(config_.data_dir.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> stale;
+    const std::string current = "wal-" + std::to_string(wal_seq_) + ".log";
+    while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.starts_with("wal-") && name.ends_with(".log") && name != current) {
+            stale.push_back(config_.data_dir + "/" + name);
+        }
+    }
+    ::closedir(dir);
+    for (const std::string& path : stale) ::unlink(path.c_str());
+}
+
+void AdmissionController::replay_record(const WalRecord& rec, const std::string& path) {
+    if (rec.kind == WalRecordKind::kShed) {
+        metrics_.shed += 1;
+        metrics_.shed_revenue += rec.request.payment;
+        mark_covered(rec.seq);
+        return;
+    }
+    // Re-execute the logged decision and cross-check: decide() is
+    // deterministic given the restored state, so any divergence means the
+    // snapshot and WAL are mutually inconsistent.
+    const core::Decision decision = scheduler_->decide(rec.request);
+    bool matches = decision.admitted == rec.admitted;
+    if (matches && decision.admitted) {
+        matches = decision.placement.sites.size() == rec.sites.size();
+        for (std::size_t i = 0; matches && i < rec.sites.size(); ++i) {
+            matches = decision.placement.sites[i].cloudlet == rec.sites[i].cloudlet &&
+                      decision.placement.sites[i].replicas == rec.sites[i].replicas;
+        }
+    }
+    if (matches && !decision.admitted) {
+        matches = decision.reject_reason == rec.reject_reason;
+    }
+    if (!matches) {
+        throw CorruptStateError(path, rec.file_offset,
+                                "logged decision for seq " + std::to_string(rec.seq) +
+                                    " diverges from re-execution — snapshot and WAL "
+                                    "are mutually inconsistent");
+    }
+    apply_decision(rec.seq, rec.request, decision);
+}
+
+void AdmissionController::mark_covered(std::uint64_t seq) {
+    if (is_covered(seq)) return;
+    covered_sparse_.insert(seq);
+    while (!covered_sparse_.empty() && covered_sparse_.count(covered_watermark_) != 0) {
+        covered_sparse_.erase(covered_watermark_);
+        ++covered_watermark_;
+    }
+}
+
+bool AdmissionController::is_covered(std::uint64_t seq) const {
+    return seq < covered_watermark_ || covered_sparse_.count(seq) != 0;
+}
+
+void AdmissionController::append_wal(const WalRecord& rec) {
+    wal_->append(rec);
+    ++wal_records_;
+    ++appends_this_run_;
+    if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
+        throw CrashInjected(appends_this_run_);
+    }
+}
+
+void AdmissionController::apply_decision(std::uint64_t seq,
+                                         const workload::Request& request,
+                                         const core::Decision& decision) {
+    metrics_.processed += 1;
+    if (decision.admitted) {
+        metrics_.admitted += 1;
+        metrics_.revenue += request.payment;
+        AdmittedRecord rec;
+        rec.seq = seq;
+        rec.request_id = request.id.value;
+        rec.payment = request.payment;
+        rec.sites.reserve(decision.placement.sites.size());
+        for (const core::Site& site : decision.placement.sites) {
+            rec.sites.emplace_back(site.cloudlet.value,
+                                   static_cast<std::int64_t>(site.replicas));
+        }
+        admitted_.push_back(std::move(rec));
+    } else {
+        metrics_.rejected += 1;
+    }
+    mark_covered(seq);
+}
+
+void AdmissionController::shed(const QueueItem& victim) {
+    WalRecord rec;
+    rec.kind = WalRecordKind::kShed;
+    rec.seq = victim.seq;
+    rec.request = victim.request;
+    append_wal(rec);
+    metrics_.shed += 1;
+    metrics_.shed_revenue += victim.request.payment;
+    mark_covered(victim.seq);
+}
+
+SubmitResult AdmissionController::submit(std::uint64_t seq,
+                                         const workload::Request& request) {
+    if (is_covered(seq)) return SubmitResult::kAlreadyCovered;
+    // Uncovered submissions must arrive in stream order — FIFO processing
+    // equals seq order, which the recovery protocol relies on.
+    VNFR_CHECK(queue_.empty() || seq > queue_.back().seq,
+               "submit seq ", seq, " out of stream order (queue tail is ",
+               queue_.empty() ? 0 : queue_.back().seq, ")");
+    if (queue_.size() < config_.queue_capacity) {
+        queue_.push_back(QueueItem{seq, request});
+        return SubmitResult::kQueued;
+    }
+    // Overload: shed the lowest payment among queued + incoming; on a
+    // payment tie the younger request (higher seq) loses.
+    auto victim_it = queue_.end();
+    double victim_pay = request.payment;
+    std::uint64_t victim_seq = seq;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->request.payment < victim_pay ||
+            (it->request.payment == victim_pay && it->seq > victim_seq)) {
+            victim_it = it;
+            victim_pay = it->request.payment;
+            victim_seq = it->seq;
+        }
+    }
+    if (victim_it == queue_.end()) {
+        shed(QueueItem{seq, request});
+        return SubmitResult::kShedIncoming;
+    }
+    const QueueItem victim = *victim_it;
+    shed(victim);  // durable first; memory mutations follow
+    queue_.erase(victim_it);
+    queue_.push_back(QueueItem{seq, request});
+    return SubmitResult::kShedQueued;
+}
+
+std::vector<ProcessedOutcome> AdmissionController::pump(std::size_t max_requests) {
+    std::vector<ProcessedOutcome> outcomes;
+    while (max_requests > 0 && !queue_.empty()) {
+        --max_requests;
+        const QueueItem item = queue_.front();
+        const core::Decision decision = scheduler_->decide(item.request);
+        WalRecord rec;
+        rec.kind = WalRecordKind::kDecision;
+        rec.seq = item.seq;
+        rec.request = item.request;
+        rec.admitted = decision.admitted;
+        rec.reject_reason = decision.reject_reason;
+        if (decision.admitted) rec.sites = decision.placement.sites;
+        append_wal(rec);
+        queue_.pop_front();
+        apply_decision(item.seq, item.request, decision);
+        outcomes.push_back(ProcessedOutcome{item.seq, item.request, decision});
+        if (wal_records_ >= config_.checkpoint_every) checkpoint();
+    }
+    return outcomes;
+}
+
+std::vector<ProcessedOutcome> AdmissionController::drain() {
+    std::vector<ProcessedOutcome> outcomes;
+    while (!queue_.empty()) {
+        std::vector<ProcessedOutcome> batch = pump(queue_.size());
+        outcomes.insert(outcomes.end(), batch.begin(), batch.end());
+    }
+    return outcomes;
+}
+
+void AdmissionController::checkpoint() {
+    ControllerSnapshot snap;
+    snap.scheme = static_cast<std::uint8_t>(scheme_);
+    snap.config_digest = config_digest_;
+    snap.cloudlets = instance_.network.cloudlet_count();
+    snap.horizon = static_cast<std::uint64_t>(instance_.horizon);
+    snap.wal_seq = wal_seq_ + 1;
+    snap.metrics = metrics_;
+    core::SchedulerState state = scheduler_->export_state();
+    snap.lambda = std::move(state.lambda);
+    snap.usage = std::move(state.usage);
+    snap.covered_watermark = covered_watermark_;
+    snap.covered_sparse.assign(covered_sparse_.begin(), covered_sparse_.end());
+    snap.admitted = admitted_;
+
+    // Rotation order keeps every crash window recoverable: (1) create the
+    // next WAL generation; (2) atomically replace the snapshot, which now
+    // references it; (3) drop the old generation. A crash between (1) and
+    // (2) recovers from the old snapshot + old WAL (the new file is
+    // stale and removed on restart); between (2) and (3) the old WAL is
+    // the stale one.
+    WalWriter next = WalWriter::create(wal_path(wal_seq_ + 1), wal_seq_ + 1,
+                                       config_digest_);
+    save_snapshot(snapshot_path(), snap);
+    wal_->close();
+    ::unlink(wal_path(wal_seq_).c_str());
+    wal_.emplace(std::move(next));
+    ++wal_seq_;
+    wal_records_ = 0;
+}
+
+std::uint64_t AdmissionController::state_digest() const {
+    common::Fnv1a digest;
+    digest.mix(static_cast<std::uint64_t>(scheme_));
+    digest.mix(config_digest_);
+    digest.mix(metrics_.processed);
+    digest.mix(metrics_.admitted);
+    digest.mix(metrics_.rejected);
+    digest.mix(metrics_.shed);
+    digest.mix(metrics_.revenue);
+    digest.mix(metrics_.shed_revenue);
+    digest.mix(covered_watermark_);
+    digest.mix(static_cast<std::uint64_t>(covered_sparse_.size()));
+    for (const std::uint64_t seq : covered_sparse_) digest.mix(seq);
+    digest.mix(static_cast<std::uint64_t>(admitted_.size()));
+    for (const AdmittedRecord& rec : admitted_) {
+        digest.mix(rec.seq);
+        digest.mix(static_cast<std::uint64_t>(rec.request_id));
+        digest.mix(rec.payment);
+        digest.mix(static_cast<std::uint64_t>(rec.sites.size()));
+        for (const auto& [cloudlet, replicas] : rec.sites) {
+            digest.mix(static_cast<std::uint64_t>(cloudlet));
+            digest.mix(static_cast<std::uint64_t>(replicas));
+        }
+    }
+    const core::SchedulerState state = scheduler_->export_state();
+    for (const auto& row : state.lambda) {
+        for (const double v : row) digest.mix(v);
+    }
+    for (const double v : state.usage) digest.mix(v);
+    return digest.value();
+}
+
+}  // namespace vnfr::serve

@@ -1,0 +1,176 @@
+// A long-lived, crash-safe service wrapper around the online primal-dual
+// schedulers: requests stream in through a bounded admission queue, every
+// durable outcome (decision or shed) is WAL-logged before it becomes
+// observable, and the full controller state checkpoints atomically every
+// `checkpoint_every` outcomes.
+//
+// Recovery contract. decide() of both primal-dual schedulers is a
+// deterministic function of (instance, config, dual prices, ledger
+// usage), so the controller persists exactly that state plus its own
+// bookkeeping. Restart = load snapshot, then *re-execute* each WAL'd
+// decision against the restored scheduler and cross-check the logged
+// outcome (a mismatch means the files lie about the state and recovery
+// refuses to continue). The result is bit-identical controller state:
+// same duals, same usage, same revenue bits, same admitted set.
+//
+// Idempotency. Every request carries a stream sequence number. A seq
+// whose outcome is already durable ("covered") is skipped on
+// resubmission, so a driver that replays its input after a crash cannot
+// double-admit or double-charge. The covered set is a watermark plus a
+// sparse overflow set, so it stays O(queue) in memory.
+//
+// Overload guard. The queue is bounded; when a submit overflows it, the
+// lowest-payment request among (queued + incoming) is shed — logged,
+// counted in shed_revenue, and reported to the caller. Ties prefer
+// keeping the older request.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/offline.hpp"
+#include "core/schedule.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/wal.hpp"
+
+namespace vnfr::serve {
+
+/// Thrown by the crash_after_records() test hook; simulates the process
+/// dying immediately after a durable WAL append.
+class CrashInjected : public std::runtime_error {
+  public:
+    explicit CrashInjected(std::uint64_t records)
+        : std::runtime_error("injected crash after " + std::to_string(records) +
+                             " WAL records") {}
+};
+
+struct ServeConfig {
+    /// Directory holding snapshot.bin and wal-<gen>.log. Must exist.
+    std::string data_dir;
+    /// Take a snapshot (and rotate the WAL) every this many WAL records.
+    std::size_t checkpoint_every{64};
+    /// Bounded admission queue size; submits beyond it shed the
+    /// lowest-payment request.
+    std::size_t queue_capacity{256};
+};
+
+/// Outcome of submitting one request to the stream.
+enum class SubmitResult {
+    kQueued,          ///< accepted into the admission queue
+    kShedIncoming,    ///< queue full and the incoming request paid least
+    kShedQueued,      ///< queue full; a cheaper queued request was evicted
+    kAlreadyCovered,  ///< this seq's outcome is already durable (replay)
+};
+
+/// One decided request, as returned by pump().
+struct ProcessedOutcome {
+    std::uint64_t seq{0};
+    workload::Request request;
+    core::Decision decision;
+};
+
+class AdmissionController {
+  public:
+    /// Binds to `instance` (kept alive by the caller) under `scheme`.
+    /// If `config.data_dir` already holds a snapshot and/or WAL, the
+    /// constructor recovers from them (replaying the WAL as described
+    /// above); otherwise it starts fresh and creates generation-0 files.
+    AdmissionController(const core::Instance& instance, core::Scheme scheme,
+                        ServeConfig config);
+
+    AdmissionController(const AdmissionController&) = delete;
+    AdmissionController& operator=(const AdmissionController&) = delete;
+
+    /// Feeds one request into the stream. `seq` is the request's position
+    /// in the stream; submit seqs in increasing order (covered seqs may be
+    /// replayed in any order and are skipped).
+    SubmitResult submit(std::uint64_t seq, const workload::Request& request);
+
+    /// Decides queued requests in FIFO order, up to `max_requests`, WAL-
+    /// logging each outcome and checkpointing on cadence. Returns the
+    /// decided batch.
+    std::vector<ProcessedOutcome> pump(std::size_t max_requests);
+
+    /// pump() until the queue is empty.
+    std::vector<ProcessedOutcome> drain();
+
+    /// Takes a snapshot now and rotates to a fresh WAL generation.
+    void checkpoint();
+
+    [[nodiscard]] const ServeMetrics& metrics() const { return metrics_; }
+    [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+    [[nodiscard]] const std::vector<AdmittedRecord>& admitted_records() const {
+        return admitted_;
+    }
+    /// Smallest stream seq whose outcome is not yet durable; after a
+    /// crash, resubmit from here.
+    [[nodiscard]] std::uint64_t resume_cursor() const { return covered_watermark_; }
+    [[nodiscard]] bool is_covered(std::uint64_t seq) const;
+    /// Records appended to the current WAL generation (resets at
+    /// checkpoint).
+    [[nodiscard]] std::uint64_t wal_records() const { return wal_records_; }
+    [[nodiscard]] std::uint64_t wal_generation() const { return wal_seq_; }
+    [[nodiscard]] const core::OnlineScheduler& scheduler() const { return *scheduler_; }
+    [[nodiscard]] core::Scheme scheme() const { return scheme_; }
+
+    /// FNV-1a digest over the complete logical state: scheme, counters,
+    /// revenue bits, dual-price bits, usage bits, coverage, and the
+    /// admitted ledger. Two controllers with equal digests decide every
+    /// future request identically.
+    [[nodiscard]] std::uint64_t state_digest() const;
+
+    /// Shape digest binding persisted files to this instance + scheme.
+    [[nodiscard]] std::uint64_t config_digest() const { return config_digest_; }
+
+    /// Test hook: throw CrashInjected immediately after the n-th WAL
+    /// append from now (1 = crash after the next record). 0 disables.
+    void crash_after_records(std::uint64_t n) { crash_countdown_ = n; }
+
+  private:
+    struct QueueItem {
+        std::uint64_t seq;
+        workload::Request request;
+    };
+
+    void recover();
+    void replay_record(const WalRecord& rec, const std::string& path);
+    void mark_covered(std::uint64_t seq);
+    void append_wal(const WalRecord& rec);
+    void apply_decision(std::uint64_t seq, const workload::Request& request,
+                        const core::Decision& decision);
+    void shed(const QueueItem& victim);
+    [[nodiscard]] std::string snapshot_path() const;
+    [[nodiscard]] std::string wal_path(std::uint64_t generation) const;
+    void remove_stale_wals() const;
+
+    const core::Instance& instance_;
+    core::Scheme scheme_;
+    ServeConfig config_;
+    std::uint64_t config_digest_{0};
+    std::unique_ptr<core::OnlineScheduler> scheduler_;
+
+    std::deque<QueueItem> queue_;
+    ServeMetrics metrics_;
+    std::vector<AdmittedRecord> admitted_;
+    std::uint64_t covered_watermark_{0};
+    std::set<std::uint64_t> covered_sparse_;
+
+    std::uint64_t wal_seq_{0};
+    std::uint64_t wal_records_{0};  ///< records in the current generation
+    std::uint64_t appends_this_run_{0};  ///< appends since construction
+    std::optional<WalWriter> wal_;
+    std::uint64_t crash_countdown_{0};
+};
+
+/// The shape digest save/load validates against: cloudlet capacities and
+/// reliabilities (bit patterns), horizon, catalog entries, and scheme.
+[[nodiscard]] std::uint64_t instance_config_digest(const core::Instance& instance,
+                                                   core::Scheme scheme);
+
+}  // namespace vnfr::serve

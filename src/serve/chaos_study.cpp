@@ -1,0 +1,291 @@
+#include "serve/chaos_study.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/verify.hpp"
+#include "serve/admission_controller.hpp"
+#include "serve/wire.hpp"
+
+namespace vnfr::serve {
+
+namespace {
+
+/// Creates `path` if needed and removes any controller state files left
+/// by a previous run, so every trial starts from a virgin directory.
+void fresh_state_dir(const std::string& path) {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::invalid_argument("chaos study: cannot create state dir " + path);
+    }
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+        throw std::invalid_argument("chaos study: cannot open state dir " + path);
+    }
+    std::vector<std::string> doomed;
+    while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.starts_with("wal-") || name.starts_with("snapshot.bin")) {
+            doomed.push_back(path + "/" + name);
+        }
+    }
+    ::closedir(dir);
+    for (const std::string& file : doomed) ::unlink(file.c_str());
+}
+
+/// The single live WAL file in `path` (rotation unlinks old generations
+/// eagerly), or empty when none exists yet.
+std::string find_wal_file(const std::string& path) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return {};
+    std::string found;
+    while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.starts_with("wal-") && name.ends_with(".log")) {
+            found = path + "/" + name;
+            break;
+        }
+    }
+    ::closedir(dir);
+    return found;
+}
+
+std::uint64_t file_size(const std::string& path) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/// Progress markers the driver updates as it goes, so a CrashInjected
+/// unwind tells the recovery path exactly where the stream stood.
+struct DriveProgress {
+    std::size_t submitted{0};  ///< completed submit() calls
+    bool in_drain{false};      ///< the crash interrupted a drain
+};
+
+/// Drives `requests[start..N)` into the controller with the study's
+/// deterministic pattern: drain after every `drain_every`-th submit
+/// (position-based, so interrupted and resumed runs fire the same
+/// drains), plus a final drain. When `refire_drain` is set, an
+/// interrupted drain is completed first — before any new submissions —
+/// which restores the exact decision order of the uninterrupted run.
+void drive(AdmissionController& controller,
+           const std::vector<workload::Request>& requests, std::size_t start,
+           bool refire_drain, std::size_t drain_every, DriveProgress& progress) {
+    progress.submitted = start;
+    if (refire_drain) {
+        progress.in_drain = true;
+        controller.drain();
+        progress.in_drain = false;
+    }
+    for (std::size_t i = start; i < requests.size(); ++i) {
+        progress.submitted = i;
+        progress.in_drain = false;
+        controller.submit(i, requests[i]);
+        progress.submitted = i + 1;
+        if ((i + 1) % drain_every == 0) {
+            progress.in_drain = true;
+            controller.drain();
+            progress.in_drain = false;
+        }
+    }
+    progress.in_drain = true;
+    controller.drain();
+    progress.in_drain = false;
+}
+
+/// Re-submits every not-yet-durable request below `through` (normal
+/// submit path: covered seqs skip, shedding logic stays active), exactly
+/// reconstructing the crash-time queue.
+void rebuild_queue(AdmissionController& controller,
+                   const std::vector<workload::Request>& requests,
+                   std::size_t through) {
+    for (std::uint64_t i = controller.resume_cursor(); i < through; ++i) {
+        controller.submit(i, requests[static_cast<std::size_t>(i)]);
+    }
+}
+
+/// Assembles a per-request decision vector from the controller's durable
+/// admitted ledger (everything else default-rejected) for independent
+/// verification.
+std::vector<core::Decision> assemble_decisions(const core::Instance& instance,
+                                               const AdmissionController& controller) {
+    std::vector<core::Decision> decisions(instance.requests.size());
+    for (const AdmittedRecord& rec : controller.admitted_records()) {
+        if (rec.seq >= decisions.size()) continue;  // caught by admitted_match
+        core::Decision& d = decisions[static_cast<std::size_t>(rec.seq)];
+        d.admitted = true;
+        d.placement.request = instance.requests[static_cast<std::size_t>(rec.seq)].id;
+        for (const auto& [cloudlet, replicas] : rec.sites) {
+            d.placement.sites.push_back(
+                core::Site{CloudletId{cloudlet}, static_cast<int>(replicas)});
+        }
+    }
+    return decisions;
+}
+
+bool same_admitted(const std::vector<AdmittedRecord>& a,
+                   const std::vector<AdmittedRecord>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].seq != b[i].seq || a[i].request_id != b[i].request_id ||
+            a[i].payment != b[i].payment || a[i].sites != b[i].sites) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool unique_admitted(const std::vector<AdmittedRecord>& records) {
+    std::set<std::uint64_t> seqs;
+    std::set<std::int64_t> ids;
+    for (const AdmittedRecord& rec : records) {
+        if (!seqs.insert(rec.seq).second) return false;
+        if (!ids.insert(rec.request_id).second) return false;
+    }
+    return true;
+}
+
+bool metrics_equal(const ServeMetrics& a, const ServeMetrics& b) {
+    return a.processed == b.processed && a.admitted == b.admitted &&
+           a.rejected == b.rejected && a.shed == b.shed;
+}
+
+}  // namespace
+
+ChaosStudyResult run_chaos_study(const core::Instance& instance,
+                                 const ChaosStudyConfig& config) {
+    const std::vector<workload::Request>& requests = instance.requests;
+    if (requests.empty()) {
+        throw std::invalid_argument("chaos study: instance has no requests");
+    }
+    if (config.work_dir.empty()) {
+        throw std::invalid_argument("chaos study: work_dir not set");
+    }
+    if (::mkdir(config.work_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::invalid_argument("chaos study: cannot create work_dir " +
+                                    config.work_dir);
+    }
+
+    // Drain cadence overflows the queue on purpose: strictly more
+    // submissions than queue slots between drains, so the overload guard
+    // sheds every cycle and crashes land in shed paths too.
+    common::Rng pattern_rng = common::stream_rng(config.master_seed, 1);
+    const std::size_t drain_every =
+        config.queue_capacity +
+        static_cast<std::size_t>(pattern_rng.uniform_int(
+            1, static_cast<std::int64_t>(config.queue_capacity)));
+
+    ServeConfig serve;
+    serve.checkpoint_every = config.checkpoint_every;
+    serve.queue_capacity = config.queue_capacity;
+
+    ChaosStudyResult result;
+    result.scheme = config.scheme;
+
+    // Baseline: one uninterrupted run.
+    const std::string baseline_dir = config.work_dir + "/baseline";
+    fresh_state_dir(baseline_dir);
+    std::vector<AdmittedRecord> baseline_admitted;
+    {
+        ServeConfig cfg = serve;
+        cfg.data_dir = baseline_dir;
+        AdmissionController baseline(instance, config.scheme, cfg);
+        DriveProgress progress;
+        drive(baseline, requests, 0, false, drain_every, progress);
+        result.baseline_digest = baseline.state_digest();
+        result.baseline_metrics = baseline.metrics();
+        result.baseline_outcomes =
+            baseline.metrics().processed + baseline.metrics().shed;
+        baseline_admitted = baseline.admitted_records();
+        result.baseline_capacity_ok =
+            core::verify_schedule(instance, assemble_decisions(instance, baseline)).ok();
+        baseline.checkpoint();
+    }
+    {
+        // Reopening the checkpointed directory must reproduce the digest.
+        ServeConfig cfg = serve;
+        cfg.data_dir = baseline_dir;
+        AdmissionController reloaded(instance, config.scheme, cfg);
+        result.baseline_reload_ok =
+            reloaded.state_digest() == result.baseline_digest;
+    }
+
+    // Kill trials.
+    const std::string trial_dir = config.work_dir + "/trial";
+    for (std::size_t trial = 0; trial < config.kill_points; ++trial) {
+        common::Rng rng = common::stream_rng(config.master_seed, 1000 + trial);
+        ChaosTrial outcome;
+        // Crash after 1 .. outcomes-1 WAL appends: always mid-trace.
+        outcome.kill_after_records = static_cast<std::uint64_t>(rng.uniform_int(
+            1, std::max<std::int64_t>(
+                   1, static_cast<std::int64_t>(result.baseline_outcomes) - 1)));
+
+        fresh_state_dir(trial_dir);
+        ServeConfig cfg = serve;
+        cfg.data_dir = trial_dir;
+        DriveProgress progress;
+        {
+            AdmissionController victim(instance, config.scheme, cfg);
+            victim.crash_after_records(outcome.kill_after_records);
+            try {
+                drive(victim, requests, 0, false, drain_every, progress);
+            } catch (const CrashInjected&) {
+                outcome.crashed = true;
+            }
+        }
+        outcome.submitted_at_crash = progress.submitted;
+
+        // Optionally tear the WAL tail, as an interrupted append would.
+        if (outcome.crashed && config.torn_tails && trial % 2 == 0) {
+            const std::string wal = find_wal_file(trial_dir);
+            const std::uint64_t size = wal.empty() ? 0 : file_size(wal);
+            // Keep the 32-byte header plus a safety margin so the cut
+            // lands inside the final record, not across older ones.
+            if (size > 32 + 16) {
+                outcome.truncated_bytes =
+                    static_cast<std::uint64_t>(rng.uniform_int(1, 12));
+                if (::truncate(wal.c_str(),
+                               static_cast<off_t>(size - outcome.truncated_bytes)) == 0) {
+                    outcome.torn_tail_applied = true;
+                }
+            }
+        }
+
+        if (outcome.crashed) {
+            // Restart from disk, rebuild the queue, complete any
+            // interrupted drain, then finish the trace.
+            AdmissionController revived(instance, config.scheme, cfg);
+            rebuild_queue(revived, requests, progress.submitted);
+            DriveProgress rest;
+            drive(revived, requests, progress.submitted, progress.in_drain,
+                  drain_every, rest);
+
+            outcome.digest_match = revived.state_digest() == result.baseline_digest;
+            const ServeMetrics& m = revived.metrics();
+            outcome.revenue_match =
+                m.revenue == result.baseline_metrics.revenue &&
+                m.shed_revenue == result.baseline_metrics.shed_revenue;
+            outcome.metrics_match = metrics_equal(m, result.baseline_metrics);
+            outcome.admitted_match =
+                same_admitted(revived.admitted_records(), baseline_admitted);
+            outcome.no_double_admits = unique_admitted(revived.admitted_records());
+            outcome.capacity_ok =
+                core::verify_schedule(instance, assemble_decisions(instance, revived))
+                    .ok();
+        }
+
+        if (!outcome.ok()) ++result.failed_trials;
+        result.trials.push_back(outcome);
+    }
+    return result;
+}
+
+}  // namespace vnfr::serve

@@ -1,0 +1,204 @@
+#include "serve/snapshot.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace vnfr::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "VNFRSNP1";
+
+/// Upper bound on element counts decoded from length fields, so a fuzzed
+/// length cannot drive a multi-gigabyte allocation before the CRC check
+/// (the CRC runs first; this is belt-and-braces against crafted files
+/// whose CRC happens to pass).
+constexpr std::uint64_t kMaxElements = 1ULL << 28;
+
+void check_count(const WireReader& reader, std::uint64_t count, const char* what) {
+    if (count > kMaxElements) {
+        throw CorruptStateError("snapshot", reader.offset(),
+                                std::string(what) + " count " + std::to_string(count) +
+                                    " exceeds the sanity bound");
+    }
+}
+
+}  // namespace
+
+std::string encode_snapshot(const ControllerSnapshot& snap) {
+    WireWriter w;
+    w.put_bytes(kMagic);
+    w.put_u32(kSnapshotVersion);
+    w.put_u8(snap.scheme);
+    w.put_u64(snap.config_digest);
+    w.put_u64(snap.cloudlets);
+    w.put_u64(snap.horizon);
+    w.put_u64(snap.wal_seq);
+    w.put_u64(snap.metrics.processed);
+    w.put_u64(snap.metrics.admitted);
+    w.put_u64(snap.metrics.rejected);
+    w.put_u64(snap.metrics.shed);
+    w.put_f64(snap.metrics.revenue);
+    w.put_f64(snap.metrics.shed_revenue);
+    for (const auto& row : snap.lambda) {
+        for (const double v : row) w.put_f64(v);
+    }
+    for (const double v : snap.usage) w.put_f64(v);
+    w.put_u64(snap.covered_watermark);
+    w.put_u64(snap.covered_sparse.size());
+    for (const std::uint64_t s : snap.covered_sparse) w.put_u64(s);
+    w.put_u64(snap.admitted.size());
+    for (const AdmittedRecord& rec : snap.admitted) {
+        w.put_u64(rec.seq);
+        w.put_i64(rec.request_id);
+        w.put_f64(rec.payment);
+        w.put_u32(static_cast<std::uint32_t>(rec.sites.size()));
+        for (const auto& [cloudlet, replicas] : rec.sites) {
+            w.put_i64(cloudlet);
+            w.put_i64(replicas);
+        }
+    }
+    WireWriter out;
+    out.put_bytes(w.bytes());
+    out.put_u32(crc32(w.bytes()));
+    return out.bytes();
+}
+
+ControllerSnapshot decode_snapshot(std::string_view bytes, const std::string& label) {
+    // Header + CRC trailer must at least fit before anything is parsed.
+    if (bytes.size() < kMagic.size() + 4 + 4) {
+        throw CorruptStateError(label, bytes.size(),
+                                "file too short to hold a snapshot header");
+    }
+    WireReader header(bytes, label);
+    if (header.get_bytes(kMagic.size(), "magic") != kMagic) {
+        throw CorruptStateError(label, 0, "bad magic (not a VNFR snapshot)");
+    }
+    const std::uint32_t version = header.get_u32("version");
+    if (version != kSnapshotVersion) {
+        throw CorruptStateError(label, kMagic.size(),
+                                "unsupported snapshot version " + std::to_string(version) +
+                                    " (expected " + std::to_string(kSnapshotVersion) + ")");
+    }
+    // CRC covers everything before the 4-byte trailer.
+    const std::string_view body = bytes.substr(0, bytes.size() - 4);
+    WireReader trailer(bytes.substr(bytes.size() - 4), label, bytes.size() - 4);
+    const std::uint32_t stored_crc = trailer.get_u32("crc trailer");
+    const std::uint32_t actual_crc = crc32(body);
+    if (stored_crc != actual_crc) {
+        throw CorruptStateError(label, bytes.size() - 4, "CRC mismatch: file corrupt");
+    }
+
+    WireReader r(body.substr(kMagic.size() + 4), label, kMagic.size() + 4);
+    ControllerSnapshot snap;
+    snap.scheme = r.get_u8("scheme");
+    if (snap.scheme > 1) {
+        throw CorruptStateError(label, r.offset() - 1,
+                                "scheme byte " + std::to_string(snap.scheme) +
+                                    " is neither onsite (0) nor offsite (1)");
+    }
+    snap.config_digest = r.get_u64("config digest");
+    snap.cloudlets = r.get_u64("cloudlet count");
+    snap.horizon = r.get_u64("horizon");
+    check_count(r, snap.cloudlets, "cloudlet");
+    check_count(r, snap.horizon, "horizon slot");
+    check_count(r, snap.cloudlets * snap.horizon, "state cell");
+    snap.wal_seq = r.get_u64("wal generation");
+    snap.metrics.processed = r.get_u64("processed counter");
+    snap.metrics.admitted = r.get_u64("admitted counter");
+    snap.metrics.rejected = r.get_u64("rejected counter");
+    snap.metrics.shed = r.get_u64("shed counter");
+    if (snap.metrics.admitted + snap.metrics.rejected != snap.metrics.processed) {
+        throw CorruptStateError(label, r.offset(),
+                                "admitted + rejected != processed counters");
+    }
+    snap.metrics.revenue = r.get_f64("revenue");
+    snap.metrics.shed_revenue = r.get_f64("shed revenue");
+    if (!std::isfinite(snap.metrics.revenue) || !std::isfinite(snap.metrics.shed_revenue)) {
+        throw CorruptStateError(label, r.offset(), "non-finite revenue counter");
+    }
+    snap.lambda.assign(snap.cloudlets, {});
+    for (auto& row : snap.lambda) {
+        row.resize(snap.horizon);
+        for (double& v : row) {
+            v = r.get_f64("lambda cell");
+            if (!std::isfinite(v) || v < 0.0) {
+                throw CorruptStateError(label, r.offset() - 8,
+                                        "lambda cell is not finite and non-negative");
+            }
+        }
+    }
+    snap.usage.resize(snap.cloudlets * snap.horizon);
+    for (double& v : snap.usage) {
+        v = r.get_f64("usage cell");
+        if (!std::isfinite(v) || v < 0.0) {
+            throw CorruptStateError(label, r.offset() - 8,
+                                    "usage cell is not finite and non-negative");
+        }
+    }
+    snap.covered_watermark = r.get_u64("covered watermark");
+    const std::uint64_t sparse_count = r.get_u64("sparse covered count");
+    check_count(r, sparse_count, "sparse covered seq");
+    snap.covered_sparse.resize(sparse_count);
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (std::uint64_t& s : snap.covered_sparse) {
+        s = r.get_u64("sparse covered seq");
+        // Invariant: the watermark seq itself is uncovered, so every sparse
+        // entry lies strictly above it, in strictly ascending order.
+        if (s <= snap.covered_watermark) {
+            throw CorruptStateError(label, r.offset() - 8,
+                                    "sparse covered seq at or below the watermark");
+        }
+        if (!first && s <= prev) {
+            throw CorruptStateError(label, r.offset() - 8,
+                                    "sparse covered seqs not strictly ascending");
+        }
+        prev = s;
+        first = false;
+    }
+    const std::uint64_t admitted_count = r.get_u64("admitted record count");
+    check_count(r, admitted_count, "admitted record");
+    if (admitted_count != snap.metrics.admitted) {
+        throw CorruptStateError(label, r.offset() - 8,
+                                "admitted record count disagrees with the admitted "
+                                "counter");
+    }
+    snap.admitted.resize(admitted_count);
+    for (AdmittedRecord& rec : snap.admitted) {
+        rec.seq = r.get_u64("admitted seq");
+        rec.request_id = r.get_i64("admitted request id");
+        rec.payment = r.get_f64("admitted payment");
+        if (!std::isfinite(rec.payment) || rec.payment < 0.0) {
+            throw CorruptStateError(label, r.offset() - 8,
+                                    "admitted payment is not finite and non-negative");
+        }
+        const std::uint32_t site_count = r.get_u32("site count");
+        check_count(r, site_count, "site");
+        rec.sites.resize(site_count);
+        for (auto& [cloudlet, replicas] : rec.sites) {
+            cloudlet = r.get_i64("site cloudlet");
+            replicas = r.get_i64("site replicas");
+            if (cloudlet < 0 || static_cast<std::uint64_t>(cloudlet) >= snap.cloudlets) {
+                throw CorruptStateError(label, r.offset() - 16,
+                                        "site cloudlet id out of range");
+            }
+            if (replicas < 1) {
+                throw CorruptStateError(label, r.offset() - 8,
+                                        "site replica count below 1");
+            }
+        }
+    }
+    r.require_end("snapshot payload");
+    return snap;
+}
+
+void save_snapshot(const std::string& path, const ControllerSnapshot& snap) {
+    atomic_write_file(path, encode_snapshot(snap));
+}
+
+ControllerSnapshot load_snapshot(const std::string& path) {
+    return decode_snapshot(read_file(path), path);
+}
+
+}  // namespace vnfr::serve

@@ -1,0 +1,274 @@
+#include "serve/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <system_error>
+#include <utility>
+
+namespace vnfr::serve {
+
+namespace {
+
+constexpr std::string_view kMagic = "VNFRWAL1";
+constexpr std::uint64_t kHeaderSize = 8 + 4 + 8 + 8 + 4;  // magic..digest + CRC
+/// No legal record comes close to this; a larger length prefix is either
+/// a torn tail (if it runs past EOF) or corruption.
+constexpr std::uint32_t kMaxRecordBytes = 1U << 20;
+
+[[noreturn]] void throw_errno(const std::string& path, const char* op) {
+    throw std::system_error(errno, std::generic_category(), path + ": " + op);
+}
+
+void write_all(int fd, const std::string& path, std::string_view bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno(path, "write");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+std::string encode_payload(const WalRecord& record) {
+    WireWriter w;
+    w.put_u8(static_cast<std::uint8_t>(record.kind));
+    w.put_u64(record.seq);
+    w.put_i64(record.request.id.value);
+    w.put_i64(record.request.vnf.value);
+    w.put_f64(record.request.requirement);
+    w.put_i64(record.request.arrival);
+    w.put_i64(record.request.duration);
+    w.put_f64(record.request.payment);
+    w.put_i64(record.request.source.value);
+    if (record.kind == WalRecordKind::kDecision) {
+        w.put_u8(record.admitted ? 1 : 0);
+        w.put_u8(static_cast<std::uint8_t>(record.reject_reason));
+        w.put_u32(static_cast<std::uint32_t>(record.sites.size()));
+        for (const core::Site& site : record.sites) {
+            w.put_i64(site.cloudlet.value);
+            w.put_i64(site.replicas);
+        }
+    }
+    return w.bytes();
+}
+
+WalRecord decode_payload(std::string_view payload, const std::string& label,
+                         std::uint64_t base_offset) {
+    WireReader r(payload, label, base_offset);
+    WalRecord rec;
+    const std::uint8_t kind = r.get_u8("record kind");
+    if (kind != static_cast<std::uint8_t>(WalRecordKind::kDecision) &&
+        kind != static_cast<std::uint8_t>(WalRecordKind::kShed)) {
+        throw CorruptStateError(label, r.offset() - 1,
+                                "unknown WAL record kind " + std::to_string(kind));
+    }
+    rec.kind = static_cast<WalRecordKind>(kind);
+    rec.seq = r.get_u64("record seq");
+    rec.request.id = RequestId{r.get_i64("request id")};
+    rec.request.vnf = VnfTypeId{r.get_i64("request vnf")};
+    rec.request.requirement = r.get_f64("request requirement");
+    rec.request.arrival = static_cast<TimeSlot>(r.get_i64("request arrival"));
+    rec.request.duration = static_cast<TimeSlot>(r.get_i64("request duration"));
+    rec.request.payment = r.get_f64("request payment");
+    rec.request.source = NodeId{r.get_i64("request source")};
+    if (!std::isfinite(rec.request.requirement) || !std::isfinite(rec.request.payment)) {
+        throw CorruptStateError(label, r.offset(), "non-finite request field");
+    }
+    if (rec.kind == WalRecordKind::kDecision) {
+        const std::uint8_t admitted = r.get_u8("admitted flag");
+        if (admitted > 1) {
+            throw CorruptStateError(label, r.offset() - 1,
+                                    "admitted flag is neither 0 nor 1");
+        }
+        rec.admitted = admitted == 1;
+        const std::uint8_t reason = r.get_u8("reject reason");
+        if (reason > static_cast<std::uint8_t>(core::RejectReason::kNoCapacity)) {
+            throw CorruptStateError(label, r.offset() - 1,
+                                    "reject reason byte out of range");
+        }
+        rec.reject_reason = static_cast<core::RejectReason>(reason);
+        const std::uint32_t site_count = r.get_u32("site count");
+        if (site_count > kMaxRecordBytes / 16) {
+            throw CorruptStateError(label, r.offset() - 4, "site count out of range");
+        }
+        rec.sites.resize(site_count);
+        for (core::Site& site : rec.sites) {
+            site.cloudlet = CloudletId{r.get_i64("site cloudlet")};
+            site.replicas = static_cast<int>(r.get_i64("site replicas"));
+        }
+    }
+    r.require_end("WAL record payload");
+    return rec;
+}
+
+std::string encode_header(std::uint64_t wal_seq, std::uint64_t config_digest) {
+    WireWriter w;
+    w.put_bytes(kMagic);
+    w.put_u32(kWalVersion);
+    w.put_u64(wal_seq);
+    w.put_u64(config_digest);
+    WireWriter out;
+    out.put_bytes(w.bytes());
+    out.put_u32(crc32(w.bytes()));
+    return out.bytes();
+}
+
+}  // namespace
+
+std::string encode_wal_record(const WalRecord& record) {
+    const std::string payload = encode_payload(record);
+    WireWriter w;
+    w.put_u32(static_cast<std::uint32_t>(payload.size()));
+    w.put_bytes(payload);
+    w.put_u32(crc32(payload));
+    return w.bytes();
+}
+
+WalContents read_wal(const std::string& path, WalReadMode mode) {
+    const std::string bytes = read_file(path);
+    // The header is created atomically (temp + rename), so a short or
+    // mangled header is corruption in every mode — no crash produces it.
+    if (bytes.size() < kHeaderSize) {
+        throw CorruptStateError(path, bytes.size(),
+                                "WAL shorter than its 32-byte header");
+    }
+    WireReader h(bytes, path);
+    if (h.get_bytes(kMagic.size(), "WAL magic") != kMagic) {
+        throw CorruptStateError(path, 0, "bad magic (not a VNFR WAL)");
+    }
+    const std::uint32_t version = h.get_u32("WAL version");
+    if (version != kWalVersion) {
+        throw CorruptStateError(path, kMagic.size(),
+                                "unsupported WAL version " + std::to_string(version) +
+                                    " (expected " + std::to_string(kWalVersion) + ")");
+    }
+    WalContents out;
+    out.wal_seq = h.get_u64("WAL generation");
+    out.config_digest = h.get_u64("WAL config digest");
+    const std::uint32_t header_crc = h.get_u32("WAL header CRC");
+    if (header_crc != crc32(std::string_view(bytes).substr(0, kHeaderSize - 4))) {
+        throw CorruptStateError(path, kHeaderSize - 4, "WAL header CRC mismatch");
+    }
+
+    std::uint64_t pos = kHeaderSize;
+    while (pos < bytes.size()) {
+        const std::uint64_t record_start = pos;
+        const std::uint64_t remaining = bytes.size() - pos;
+        // A record that cannot even state its length, or whose stated
+        // extent runs past EOF, by definition touches the end of file:
+        // in recover mode that is the torn tail of a crashed append.
+        const auto torn = [&](const std::string& what) -> bool {
+            if (mode == WalReadMode::kRecover) {
+                out.bytes_discarded = bytes.size() - record_start;
+                return true;
+            }
+            throw CorruptStateError(path, record_start, what);
+        };
+        if (remaining < 4) {
+            if (torn("truncated record length prefix")) break;
+        }
+        WireReader frame(std::string_view(bytes).substr(pos), path, pos);
+        const std::uint32_t len = frame.get_u32("record length");
+        if (len > kMaxRecordBytes) {
+            // Implausible length: if it also runs past EOF it is a torn
+            // tail; a plausible in-file extent with a garbage length
+            // cannot happen (lengths are CRC-checked via the payload).
+            if (4ULL + len + 4ULL > remaining) {
+                if (torn("record length runs past end of file")) break;
+            }
+            throw CorruptStateError(path, record_start,
+                                    "record length " + std::to_string(len) +
+                                        " exceeds the sanity bound");
+        }
+        if (4ULL + len + 4ULL > remaining) {
+            if (torn("record body runs past end of file")) break;
+        }
+        const std::string_view payload = std::string_view(bytes).substr(pos + 4, len);
+        const std::uint64_t crc_offset = pos + 4 + len;
+        WireReader crc_reader(std::string_view(bytes).substr(crc_offset), path, crc_offset);
+        const std::uint32_t stored_crc = crc_reader.get_u32("record CRC");
+        if (stored_crc != crc32(payload)) {
+            // CRC failure on the final record is a torn overwrite; before
+            // the tail it is corruption in every mode.
+            const bool is_last = crc_offset + 4 == bytes.size();
+            if (is_last) {
+                if (torn("final record CRC mismatch (torn tail)")) break;
+            }
+            throw CorruptStateError(path, crc_offset, "record CRC mismatch");
+        }
+        WalRecord rec = decode_payload(payload, path, pos + 4);
+        rec.file_offset = record_start;
+        out.records.push_back(std::move(rec));
+        pos = crc_offset + 4;
+    }
+    out.valid_size = bytes.size() - out.bytes_discarded;
+    return out;
+}
+
+WalWriter WalWriter::create(std::string path, std::uint64_t wal_seq,
+                            std::uint64_t config_digest) {
+    atomic_write_file(path, encode_header(wal_seq, config_digest));
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) throw_errno(path, "open for append");
+    return WalWriter(std::move(path), fd);
+}
+
+WalWriter WalWriter::append_to(std::string path, std::uint64_t valid_size) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) throw_errno(path, "open for append");
+    // Drop any torn tail before new appends so the file stays a clean
+    // sequence of intact records.
+    if (::ftruncate(fd, static_cast<off_t>(valid_size)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno(path, "ftruncate");
+    }
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno(path, "lseek");
+    }
+    return WalWriter(std::move(path), fd);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+    other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+    if (this != &other) {
+        close();
+        path_ = std::move(other.path_);
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::uint64_t WalWriter::append(const WalRecord& record) {
+    if (fd_ < 0) throw std::logic_error("WalWriter::append on a closed writer");
+    const off_t at = ::lseek(fd_, 0, SEEK_CUR);
+    if (at < 0) throw_errno(path_, "lseek");
+    write_all(fd_, path_, encode_wal_record(record));
+    if (::fdatasync(fd_) != 0) throw_errno(path_, "fdatasync");
+    return static_cast<std::uint64_t>(at);
+}
+
+}  // namespace vnfr::serve

@@ -1,0 +1,117 @@
+// Write-ahead log of per-request admission outcomes between snapshots.
+//
+// File layout:
+//   header (32 bytes): magic "VNFRWAL1" | u32 version | u64 wal generation
+//                      | u64 config digest | u32 CRC over the first 28 bytes
+//   records:           u32 payload length | payload | u32 CRC(payload)
+//
+// The header is created via atomic_write_file (temp + fsync + rename), so
+// a WAL file either has a complete valid header or does not exist — a
+// zero-length or header-truncated WAL is always corruption, never a legal
+// crash state. Records are appended with write + fdatasync; a crash can
+// only tear the final record, which recovery-mode reads detect and drop.
+//
+// Each record carries the full request plus its outcome. Recovery
+// re-executes decision records against the restored scheduler (decide()
+// is deterministic) and cross-checks the logged outcome, so replayed
+// state is bit-identical by construction and silent divergence is caught.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "serve/wire.hpp"
+#include "workload/request.hpp"
+
+namespace vnfr::serve {
+
+inline constexpr std::uint32_t kWalVersion = 1;
+
+enum class WalRecordKind : std::uint8_t {
+    kDecision = 1,  ///< the scheduler decided (admitted or rejected)
+    kShed = 2,      ///< the overload guard turned the request away undecided
+};
+
+struct WalRecord {
+    WalRecordKind kind{WalRecordKind::kDecision};
+    std::uint64_t seq{0};  ///< stream sequence number
+    workload::Request request;
+    // Decision records only:
+    bool admitted{false};
+    core::RejectReason reject_reason{core::RejectReason::kNone};
+    std::vector<core::Site> sites;  ///< placement when admitted
+    /// File offset of the record's length prefix (set by read_wal, for
+    /// error reporting; ignored by append).
+    std::uint64_t file_offset{0};
+};
+
+/// How read_wal treats anomalies.
+enum class WalReadMode {
+    /// Any inconsistency throws CorruptStateError — for integrity tests
+    /// and offline inspection.
+    kStrict,
+    /// A final record that is incomplete or CRC-broken *and* extends to
+    /// end-of-file is treated as a torn tail from a crash and dropped
+    /// (reported via WalContents::bytes_discarded). Anything wrong before
+    /// the tail still throws.
+    kRecover,
+};
+
+struct WalContents {
+    std::uint64_t wal_seq{0};
+    std::uint64_t config_digest{0};
+    std::vector<WalRecord> records;
+    /// Bytes of torn tail dropped in kRecover mode (0 when the file was
+    /// clean). The valid prefix length is file size minus this.
+    std::uint64_t bytes_discarded{0};
+    /// Size in bytes of the validated prefix (header + intact records).
+    std::uint64_t valid_size{0};
+};
+
+/// Parses the WAL at `path`. Throws CorruptStateError per `mode` above.
+[[nodiscard]] WalContents read_wal(const std::string& path, WalReadMode mode);
+
+/// Appender over one WAL generation. All writes go through POSIX fds with
+/// fdatasync per record (the durability contract recovery relies on).
+class WalWriter {
+  public:
+    /// Creates `path` with a fresh header (atomically: the header is
+    /// written to a temp file and renamed in). Fails if nothing can be
+    /// written durably.
+    static WalWriter create(std::string path, std::uint64_t wal_seq,
+                            std::uint64_t config_digest);
+
+    /// Opens an existing WAL for appending after recovery, truncating it
+    /// to `valid_size` first (dropping any torn tail read_wal reported).
+    static WalWriter append_to(std::string path, std::uint64_t valid_size);
+
+    WalWriter(WalWriter&&) noexcept;
+    WalWriter& operator=(WalWriter&&) noexcept;
+    WalWriter(const WalWriter&) = delete;
+    WalWriter& operator=(const WalWriter&) = delete;
+    ~WalWriter();
+
+    /// Appends one framed record and fdatasyncs. Returns the record's
+    /// file offset.
+    std::uint64_t append(const WalRecord& record);
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+    /// Closes the fd early (destructor also does). Safe to call twice.
+    void close();
+
+  private:
+    WalWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+    std::string path_;
+    int fd_{-1};
+};
+
+/// Serializes one record to its framed byte form (exposed for tests that
+/// need to craft corrupt inputs).
+[[nodiscard]] std::string encode_wal_record(const WalRecord& record);
+
+}  // namespace vnfr::serve

@@ -1,0 +1,200 @@
+#include "serve/wire.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <system_error>
+
+namespace vnfr::serve {
+
+namespace {
+
+/// CRC-32 lookup table for the reflected IEEE 802.3 polynomial 0xEDB88320,
+/// built once at static-init time.
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    return table;
+}
+
+[[noreturn]] void throw_errno(const std::string& path, const char* op) {
+    throw std::system_error(errno, std::generic_category(), path + ": " + op);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+    const auto& table = crc_table();
+    std::uint32_t c = seed ^ 0xFFFFFFFFU;
+    for (const char ch : data) {
+        c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFU;
+}
+
+void WireWriter::put_u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+void WireWriter::put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+    }
+}
+
+void WireWriter::put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFU));
+    }
+}
+
+void WireWriter::put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+void WireWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::put_bytes(std::string_view bytes) { buffer_.append(bytes); }
+
+void WireReader::fail(const std::string& what) const {
+    throw CorruptStateError(label_, offset(), what);
+}
+
+std::string_view WireReader::get_bytes(std::size_t n, const char* what) {
+    if (remaining() < n) {
+        fail(std::string("truncated while reading ") + what + ": need " +
+             std::to_string(n) + " bytes, have " + std::to_string(remaining()));
+    }
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+std::uint8_t WireReader::get_u8(const char* what) {
+    return static_cast<std::uint8_t>(get_bytes(1, what)[0]);
+}
+
+std::uint32_t WireReader::get_u32(const char* what) {
+    const std::string_view b = get_bytes(4, what);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t WireReader::get_u64(const char* what) {
+    const std::string_view b = get_bytes(8, what);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+    }
+    return v;
+}
+
+std::int64_t WireReader::get_i64(const char* what) {
+    return static_cast<std::int64_t>(get_u64(what));
+}
+
+double WireReader::get_f64(const char* what) {
+    return std::bit_cast<double>(get_u64(what));
+}
+
+void WireReader::require_end(const char* what) const {
+    if (pos_ != data_.size()) {
+        throw CorruptStateError(label_, offset(),
+                                std::string(what) + ": " + std::to_string(remaining()) +
+                                    " trailing bytes after the last field");
+    }
+}
+
+std::string read_file(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (errno == ENOENT) {
+            throw CorruptStateError(path, 0, "file does not exist");
+        }
+        throw_errno(path, "open");
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            throw_errno(path, "read");
+        }
+        if (n == 0) break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+namespace {
+
+void write_all(int fd, const std::string& path, std::string_view bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno(path, "write");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void fsync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) throw_errno(dir, "open directory");
+    if (::fsync(fd) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno(dir, "fsync directory");
+    }
+    ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno(tmp, "open");
+    try {
+        write_all(fd, tmp, bytes);
+        if (::fsync(fd) != 0) throw_errno(tmp, "fsync");
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (::close(fd) != 0) throw_errno(tmp, "close");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) throw_errno(path, "rename");
+    fsync_parent_dir(path);
+}
+
+bool file_exists(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace vnfr::serve

@@ -1,9 +1,9 @@
 #include "sim/experiment.hpp"
 
-#include <bit>
 #include <stdexcept>
 
 #include "common/contracts.hpp"
+#include "common/digest.hpp"
 #include "common/thread_pool.hpp"
 #include "core/greedy.hpp"
 #include "core/hybrid_primal_dual.hpp"
@@ -96,38 +96,21 @@ ReplicationOutcome run_replication(const InstanceFactory& factory,
     return rep;
 }
 
-void mix_u64(std::uint64_t& h, std::uint64_t v) {
-    // FNV-1a over the 8 bytes of v.
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xffULL;
-        h *= 0x100000001b3ULL;
-    }
-}
-
-void mix_stats(std::uint64_t& h, const common::RunningStats& s) {
-    mix_u64(h, s.count());
-    mix_u64(h, std::bit_cast<std::uint64_t>(s.sum()));
-    mix_u64(h, std::bit_cast<std::uint64_t>(s.mean()));
-    mix_u64(h, std::bit_cast<std::uint64_t>(s.variance()));
-    mix_u64(h, std::bit_cast<std::uint64_t>(s.min()));
-    mix_u64(h, std::bit_cast<std::uint64_t>(s.max()));
-}
-
 }  // namespace
 
 std::uint64_t metrics_checksum(const ExperimentOutcome& outcome) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
+    common::Fnv1a digest;
     for (const AlgorithmOutcome& a : outcome.per_algorithm) {
-        mix_u64(h, static_cast<std::uint64_t>(a.algorithm));
-        mix_stats(h, a.revenue);
-        mix_stats(h, a.acceptance);
-        mix_stats(h, a.max_load_factor);
-        mix_stats(h, a.admitted);
-        mix_stats(h, a.availability);
+        digest.mix(static_cast<std::uint64_t>(a.algorithm));
+        digest.mix(a.revenue);
+        digest.mix(a.acceptance);
+        digest.mix(a.max_load_factor);
+        digest.mix(a.admitted);
+        digest.mix(a.availability);
     }
-    mix_stats(h, outcome.offline_bound);
-    mix_stats(h, outcome.offline_ilp);
-    return h;
+    digest.mix(outcome.offline_bound);
+    digest.mix(outcome.offline_ilp);
+    return digest.value();
 }
 
 ExperimentOutcome run_experiment(const InstanceFactory& factory,

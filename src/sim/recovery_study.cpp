@@ -1,33 +1,13 @@
 #include "sim/recovery_study.hpp"
 
-#include <bit>
-
 #include "common/contracts.hpp"
+#include "common/digest.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 
 namespace vnfr::sim {
 
 namespace {
-
-void mix_u64(std::uint64_t& h, std::uint64_t v) {
-    // FNV-1a over the 8 bytes of v (same construction as metrics_checksum).
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xffULL;
-        h *= 0x100000001b3ULL;
-    }
-}
-
-void mix_double(std::uint64_t& h, double v) { mix_u64(h, std::bit_cast<std::uint64_t>(v)); }
-
-void mix_stats(std::uint64_t& h, const common::RunningStats& s) {
-    mix_u64(h, s.count());
-    mix_double(h, s.sum());
-    mix_double(h, s.mean());
-    mix_double(h, s.variance());
-    mix_double(h, s.min());
-    mix_double(h, s.max());
-}
 
 void accumulate(RecoveryReport& total, const RecoveryReport& rep) {
     total.request_slots += rep.request_slots;
@@ -59,37 +39,37 @@ void accumulate(RecoveryReport& total, const RecoveryReport& rep) {
 }  // namespace
 
 std::uint64_t recovery_metrics_checksum(const RecoveryStudyOutcome& outcome) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
+    common::Fnv1a digest;
     const RecoveryReport& t = outcome.total;
-    mix_u64(h, t.request_slots);
-    mix_u64(h, t.served_slots);
-    mix_u64(h, t.disrupted_slots);
-    mix_u64(h, t.cloudlet_crashes);
-    mix_u64(h, t.instance_crashes);
-    mix_u64(h, t.transient_blips);
-    mix_u64(h, t.rack_failures);
-    mix_u64(h, t.instances_lost);
-    mix_u64(h, t.local_respawns);
-    mix_u64(h, t.remote_migrations);
-    mix_u64(h, t.readmissions);
-    mix_u64(h, t.failed_recoveries);
-    mix_u64(h, t.local_failovers);
-    mix_u64(h, t.remote_failovers);
-    mix_u64(h, t.outages);
-    mix_u64(h, t.recovered_outages);
-    mix_u64(h, t.recovery_slots_total);
-    mix_u64(h, t.shed_requests);
-    mix_double(h, t.shed_revenue);
-    mix_u64(h, t.sla_requests);
-    mix_u64(h, t.sla_violations);
-    mix_double(h, t.promised_availability_sum);
-    mix_double(h, t.delivered_availability_sum);
-    mix_u64(h, t.capacity_violations);
-    mix_stats(h, outcome.availability);
-    mix_stats(h, outcome.delivered);
-    mix_stats(h, outcome.time_to_recover);
-    mix_stats(h, outcome.shed_revenue);
-    return h;
+    digest.mix(static_cast<std::uint64_t>(t.request_slots));
+    digest.mix(static_cast<std::uint64_t>(t.served_slots));
+    digest.mix(static_cast<std::uint64_t>(t.disrupted_slots));
+    digest.mix(static_cast<std::uint64_t>(t.cloudlet_crashes));
+    digest.mix(static_cast<std::uint64_t>(t.instance_crashes));
+    digest.mix(static_cast<std::uint64_t>(t.transient_blips));
+    digest.mix(static_cast<std::uint64_t>(t.rack_failures));
+    digest.mix(static_cast<std::uint64_t>(t.instances_lost));
+    digest.mix(static_cast<std::uint64_t>(t.local_respawns));
+    digest.mix(static_cast<std::uint64_t>(t.remote_migrations));
+    digest.mix(static_cast<std::uint64_t>(t.readmissions));
+    digest.mix(static_cast<std::uint64_t>(t.failed_recoveries));
+    digest.mix(static_cast<std::uint64_t>(t.local_failovers));
+    digest.mix(static_cast<std::uint64_t>(t.remote_failovers));
+    digest.mix(static_cast<std::uint64_t>(t.outages));
+    digest.mix(static_cast<std::uint64_t>(t.recovered_outages));
+    digest.mix(static_cast<std::uint64_t>(t.recovery_slots_total));
+    digest.mix(static_cast<std::uint64_t>(t.shed_requests));
+    digest.mix(t.shed_revenue);
+    digest.mix(static_cast<std::uint64_t>(t.sla_requests));
+    digest.mix(static_cast<std::uint64_t>(t.sla_violations));
+    digest.mix(t.promised_availability_sum);
+    digest.mix(t.delivered_availability_sum);
+    digest.mix(static_cast<std::uint64_t>(t.capacity_violations));
+    digest.mix(outcome.availability);
+    digest.mix(outcome.delivered);
+    digest.mix(outcome.time_to_recover);
+    digest.mix(outcome.shed_revenue);
+    return digest.value();
 }
 
 RecoveryStudyOutcome run_recovery_replications(

@@ -21,8 +21,11 @@ std::optional<int> min_onsite_replicas(double cloudlet_rel, double vnf_rel,
     common::require_open_unit(vnf_rel, "VNF reliability");
     common::require_open_unit(requirement, "reliability requirement");
     // Even infinitely many instances cannot beat the cloudlet's own
-    // reliability: P(A) -> r(c) as N -> inf (Eq. 2).
-    if (cloudlet_rel <= requirement) return std::nullopt;
+    // reliability: P(A) -> r(c) as N -> inf (Eq. 2). The margin also
+    // rejects cloudlets sitting within rounding distance of R_i, where the
+    // closed form's log argument collapses toward 0 and the replica count
+    // diverges (r(c_j) = R_i ± 1e-12 both land here).
+    if (cloudlet_rel <= requirement + kOnsiteFeasibilityMargin) return std::nullopt;
 
     // Closed form (Eq. 3): N = ceil( ln(1 - R/r_c) / ln(1 - r_f) ). The
     // r(c_j) > R_i guard above keeps the log argument inside (0, 1).
@@ -30,11 +33,16 @@ std::optional<int> min_onsite_replicas(double cloudlet_rel, double vnf_rel,
     VNFR_CHECK(target > 0.0 && target < 1.0, "Eq. (3) log argument with r_c=",
                cloudlet_rel, " R=", requirement);
     const double n_real = std::log(target) / common::log1m(vnf_rel);
+    // Defined outcome instead of a huge N_ij (or UB casting inf to int):
+    // a count beyond the ceiling is infeasible, not astronomically priced.
+    if (!(n_real < static_cast<double>(kMaxOnsiteReplicas))) return std::nullopt;
     int n = std::max(1, static_cast<int>(std::ceil(n_real - 1e-12)));
 
     // The closed form can round the wrong way at the boundary; nudge to the
     // exact minimum.
-    while (onsite_availability(cloudlet_rel, vnf_rel, n) < requirement) ++n;
+    while (onsite_availability(cloudlet_rel, vnf_rel, n) < requirement) {
+        if (++n > kMaxOnsiteReplicas) return std::nullopt;
+    }
     while (n > 1 && onsite_availability(cloudlet_rel, vnf_rel, n - 1) >= requirement) --n;
     return n;
 }

@@ -22,10 +22,26 @@ namespace vnfr::vnf {
 /// reliability `cloudlet_rel` (paper Eq. 2). Zero replicas yields 0.
 double onsite_availability(double cloudlet_rel, double vnf_rel, int replicas);
 
+/// Feasibility margin for Eq. 3: when r(c_j) - R_i falls inside this
+/// margin the log argument 1 - R_i/r(c_j) collapses toward 0 and the
+/// closed-form replica count diverges (ln of a subnormal over ln(1-r_f)).
+/// Such cloudlets are treated as unable to meet the requirement — the
+/// replica counts they would need are physically meaningless anyway.
+inline constexpr double kOnsiteFeasibilityMargin = 1e-9;
+
+/// Ceiling on a meaningful Eq. 3 replica count. A requirement that the
+/// closed form can only meet with more instances than this is rejected
+/// (std::nullopt) instead of returning an astronomically large N_ij that
+/// no cloudlet could host and that would overflow downstream demand
+/// arithmetic.
+inline constexpr int kMaxOnsiteReplicas = 1'000'000;
+
 /// Minimum number of primary+backup instances required in a cloudlet of
 /// reliability `cloudlet_rel` so that onsite_availability >= `requirement`
 /// (paper Eq. 3). Returns std::nullopt when the cloudlet cannot meet the
-/// requirement at any replica count (cloudlet_rel <= requirement).
+/// requirement at any replica count (cloudlet_rel <= requirement +
+/// kOnsiteFeasibilityMargin) or only with more than kMaxOnsiteReplicas
+/// instances.
 ///
 /// The returned count is exact: availability(N) >= requirement and
 /// availability(N-1) < requirement, guarded against floating point rounding

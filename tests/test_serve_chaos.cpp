@@ -1,0 +1,116 @@
+// End-to-end chaos tests: kill the controller at randomized WAL points,
+// restart from disk, and require the recovered run to be indistinguishable
+// from an uninterrupted one. A compact version of the
+// ablation_controller_chaos bench gate, sized for the unit suite.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "helpers.hpp"
+#include "serve/chaos_study.hpp"
+
+namespace vnfr::serve {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::small_instance;
+
+core::Instance chaos_instance(std::size_t n) {
+    std::vector<workload::Request> reqs;
+    reqs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const TimeSlot arrival = static_cast<TimeSlot>((i * 7) / n);
+        const TimeSlot duration = 1 + static_cast<TimeSlot>(i % 3);
+        const double payment = 1.0 + static_cast<double>((i * 11) % 17);
+        // Mix both catalog types so replica counts vary.
+        reqs.push_back(make_request(static_cast<std::int64_t>(i),
+                                    static_cast<std::int64_t>(i % 2),
+                                    0.90 + 0.004 * static_cast<double>(i % 10), arrival,
+                                    duration, payment));
+    }
+    // Tight capacity so admission, rejection and shedding all occur.
+    return small_instance({0.98, 0.97, 0.99}, 10.0, 10, std::move(reqs));
+}
+
+std::string fresh_work_dir(const std::string& name) {
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+ChaosStudyConfig study_config(core::Scheme scheme, const std::string& dir) {
+    ChaosStudyConfig cfg;
+    cfg.scheme = scheme;
+    cfg.master_seed = 0xC0FFEEull;
+    cfg.kill_points = 6;
+    cfg.checkpoint_every = 8;
+    cfg.queue_capacity = 4;
+    cfg.torn_tails = true;
+    cfg.work_dir = dir;
+    return cfg;
+}
+
+void expect_study_ok(const ChaosStudyResult& result) {
+    EXPECT_TRUE(result.baseline_reload_ok);
+    EXPECT_TRUE(result.baseline_capacity_ok);
+    EXPECT_EQ(result.failed_trials, 0u);
+    ASSERT_EQ(result.trials.size(), 6u);
+    std::size_t torn = 0;
+    for (const ChaosTrial& trial : result.trials) {
+        EXPECT_TRUE(trial.crashed) << "kill point " << trial.kill_after_records;
+        EXPECT_TRUE(trial.digest_match) << "kill point " << trial.kill_after_records;
+        EXPECT_TRUE(trial.revenue_match) << "kill point " << trial.kill_after_records;
+        EXPECT_TRUE(trial.no_double_admits);
+        EXPECT_TRUE(trial.capacity_ok);
+        if (trial.torn_tail_applied) ++torn;
+    }
+    EXPECT_GT(torn, 0u);  // the torn-tail path was actually exercised
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(ServeChaos, OnsiteSurvivesRandomizedKillsBitIdentically) {
+    const core::Instance inst = chaos_instance(48);
+    const ChaosStudyResult result = run_chaos_study(
+        inst, study_config(core::Scheme::kOnsite, fresh_work_dir("chaos_onsite")));
+    EXPECT_EQ(result.baseline_outcomes, 48u);  // every request decided or shed
+    EXPECT_GT(result.baseline_metrics.shed, 0u);
+    expect_study_ok(result);
+}
+
+TEST(ServeChaos, OffsiteSurvivesRandomizedKillsBitIdentically) {
+    const core::Instance inst = chaos_instance(48);
+    const ChaosStudyResult result = run_chaos_study(
+        inst, study_config(core::Scheme::kOffsite, fresh_work_dir("chaos_offsite")));
+    EXPECT_EQ(result.baseline_outcomes, 48u);
+    expect_study_ok(result);
+}
+
+TEST(ServeChaos, StudyIsDeterministicForAFixedSeed) {
+    const core::Instance inst = chaos_instance(32);
+    ChaosStudyConfig cfg = study_config(core::Scheme::kOnsite,
+                                        fresh_work_dir("chaos_repeat_a"));
+    cfg.kill_points = 3;
+    const ChaosStudyResult a = run_chaos_study(inst, cfg);
+    cfg.work_dir = fresh_work_dir("chaos_repeat_b");
+    const ChaosStudyResult b = run_chaos_study(inst, cfg);
+    EXPECT_EQ(a.baseline_digest, b.baseline_digest);
+    ASSERT_EQ(a.trials.size(), b.trials.size());
+    for (std::size_t i = 0; i < a.trials.size(); ++i) {
+        EXPECT_EQ(a.trials[i].kill_after_records, b.trials[i].kill_after_records);
+        EXPECT_EQ(a.trials[i].submitted_at_crash, b.trials[i].submitted_at_crash);
+        EXPECT_EQ(a.trials[i].torn_tail_applied, b.trials[i].torn_tail_applied);
+    }
+}
+
+TEST(ServeChaos, RejectsAnEmptyTrace) {
+    const core::Instance inst = small_instance({0.98}, 10.0, 4, {});
+    EXPECT_THROW(run_chaos_study(
+                     inst, study_config(core::Scheme::kOnsite,
+                                        fresh_work_dir("chaos_empty"))),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vnfr::serve

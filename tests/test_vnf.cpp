@@ -108,6 +108,34 @@ TEST(MinOnsiteReplicas, KnownHandComputedCase) {
     EXPECT_EQ(*n, 2);
 }
 
+TEST(MinOnsiteReplicas, BoundaryAtFeasibilityMargin) {
+    // r(c_j) = R_i ± 1e-12 both sit inside kOnsiteFeasibilityMargin: the
+    // Eq. 3 log argument 1 - R/r_c collapses toward 0 and the closed form
+    // diverges, so both sides of the knife edge are a defined nullopt
+    // instead of a huge (or UB-cast) N_ij.
+    const double requirement = 0.95;
+    EXPECT_FALSE(min_onsite_replicas(requirement + 1e-12, 0.99, requirement).has_value());
+    EXPECT_FALSE(min_onsite_replicas(requirement - 1e-12, 0.99, requirement).has_value());
+    // Exactly at the margin is still rejected; just above it is feasible.
+    EXPECT_FALSE(
+        min_onsite_replicas(requirement + kOnsiteFeasibilityMargin, 0.99, requirement)
+            .has_value());
+    const auto n = min_onsite_replicas(requirement + 1e-6, 0.99, requirement);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_GE(onsite_availability(requirement + 1e-6, 0.99, *n), requirement);
+}
+
+TEST(MinOnsiteReplicas, RejectsCountsBeyondReplicaCeiling) {
+    // A nearly-unreliable VNF (r_f = 1e-9) needs ~2e10 replicas to close a
+    // 1e-5 feasibility gap — far past kMaxOnsiteReplicas, so the outcome
+    // is a defined nullopt, never an overflowed int.
+    EXPECT_FALSE(min_onsite_replicas(0.95 + 1e-5, 1e-9, 0.95).has_value());
+    // A feasible case near (but under) the ceiling still resolves.
+    const auto n = min_onsite_replicas(0.999, 0.5, 0.99);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_LE(*n, kMaxOnsiteReplicas);
+}
+
 // Property sweep: the returned count achieves R and is minimal.
 class ReplicaPropertyTest
     : public ::testing::TestWithParam<std::tuple<double, double, double>> {};

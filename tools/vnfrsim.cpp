@@ -9,6 +9,7 @@
 //   vnfrsim --write-trace trace.csv / --read-trace trace.csv
 //
 // Run with --help for the full flag list.
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -17,12 +18,16 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "common/rng.hpp"
 #include "core/instance.hpp"
 #include "core/offline.hpp"
 #include "net/topology_zoo.hpp"
 #include "report/csv.hpp"
+#include "report/json.hpp"
 #include "report/table.hpp"
+#include "serve/admission_controller.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/recovery_study.hpp"
@@ -54,6 +59,12 @@ struct Options {
     bool csv{false};
     std::string write_trace;
     std::string read_trace;
+    // --serve: stream the workload through the crash-safe admission
+    // controller, persisting state under this directory.
+    std::string serve_dir;
+    std::size_t checkpoint_every{64};
+    std::size_t queue_capacity{256};
+    std::uint64_t chaos_kill{0};
 };
 
 [[noreturn]] void usage(int exit_code) {
@@ -87,6 +98,20 @@ Execution:
                             readmit; reports delivered availability, time to
                             recover and shed revenue
   --fault-replications K    Monte-Carlo fault schedules per seed      [3]
+
+Serve mode (crash-safe admission controller):
+  --serve DIR               stream requests through the durable admission
+                            controller, persisting snapshots + WAL in DIR;
+                            re-running against a non-empty DIR resumes from
+                            the recovered state (already-decided requests
+                            are skipped, never double-admitted). Requires a
+                            single primal-dual algorithm (default
+                            onsite-primal-dual).
+  --checkpoint-every N      WAL records between snapshots            [64]
+  --queue-capacity N        admission queue bound; overflow sheds the
+                            lowest-payment request                   [256]
+  --chaos-kill K            kill the controller after K WAL appends
+                            (exit code 2); rerun --serve to recover
 
 Output:
   --csv                     machine-readable CSV instead of a table
@@ -153,6 +178,13 @@ Options parse_args(int argc, char** argv) {
                                              "' (see --help)");
         } else if (flag == "--fault-replications")
             opt.fault_replications = std::stoul(need_value(i, flag));
+        else if (flag == "--serve") opt.serve_dir = need_value(i, flag);
+        else if (flag == "--checkpoint-every")
+            opt.checkpoint_every = std::stoul(need_value(i, flag));
+        else if (flag == "--queue-capacity")
+            opt.queue_capacity = std::stoul(need_value(i, flag));
+        else if (flag == "--chaos-kill")
+            opt.chaos_kill = std::stoull(need_value(i, flag));
         else if (flag == "--csv") opt.csv = true;
         else if (flag == "--write-trace") opt.write_trace = need_value(i, flag);
         else if (flag == "--read-trace") opt.read_trace = need_value(i, flag);
@@ -212,7 +244,83 @@ struct AlgorithmAggregate {
     bool recovery_unavailable{false};  ///< schedule not replayable (pure Alg. 1)
 };
 
+/// --serve: one pass of the workload through the durable admission
+/// controller. Restarts (including after --chaos-kill) recover from the
+/// snapshot + WAL in the directory; resubmitted covered requests are
+/// skipped, so running this any number of times never double-admits.
+int run_serve(const Options& opt) {
+    std::string algorithm = "onsite-primal-dual";
+    if (!opt.algorithms.empty()) {
+        if (opt.algorithms.size() > 1) {
+            throw std::invalid_argument("--serve takes exactly one algorithm");
+        }
+        algorithm = opt.algorithms.front();
+    }
+    core::Scheme scheme;
+    if (algorithm == "onsite-primal-dual") {
+        scheme = core::Scheme::kOnsite;
+    } else if (algorithm == "offsite-primal-dual") {
+        scheme = core::Scheme::kOffsite;
+    } else {
+        throw std::invalid_argument(
+            "--serve supports onsite-primal-dual or offsite-primal-dual, not '" +
+            algorithm + "'");
+    }
+    if (::mkdir(opt.serve_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::invalid_argument("--serve: cannot create directory " + opt.serve_dir);
+    }
+
+    common::Rng rng(opt.seed);
+    core::Instance instance = core::make_instance(to_instance_config(opt), rng);
+    if (!opt.read_trace.empty()) {
+        instance.requests = workload::read_trace_file(opt.read_trace);
+        instance.validate();
+    }
+
+    serve::ServeConfig cfg;
+    cfg.data_dir = opt.serve_dir;
+    cfg.checkpoint_every = opt.checkpoint_every;
+    cfg.queue_capacity = opt.queue_capacity;
+    serve::AdmissionController controller(instance, scheme, cfg);
+    if (controller.resume_cursor() > 0 || controller.metrics().processed > 0) {
+        std::cout << "resumed from " << opt.serve_dir << ": "
+                  << controller.metrics().processed << " decided, "
+                  << controller.metrics().shed << " shed; next uncovered seq "
+                  << controller.resume_cursor() << "\n";
+    }
+    if (opt.chaos_kill > 0) controller.crash_after_records(opt.chaos_kill);
+
+    try {
+        for (std::size_t i = 0; i < instance.requests.size(); ++i) {
+            controller.submit(i, instance.requests[i]);
+            if ((i + 1) % opt.queue_capacity == 0) controller.drain();
+        }
+        controller.drain();
+        controller.checkpoint();
+    } catch (const serve::CrashInjected& e) {
+        std::cout << "chaos: " << e.what() << "; durable state is in "
+                  << opt.serve_dir << ", rerun --serve to recover\n";
+        return 2;
+    }
+
+    const serve::ServeMetrics& m = controller.metrics();
+    report::Table table({"metric", "value"});
+    table.add_row({"algorithm", algorithm});
+    table.add_row({"requests", std::to_string(instance.requests.size())});
+    table.add_row({"processed", std::to_string(m.processed)});
+    table.add_row({"admitted", std::to_string(m.admitted)});
+    table.add_row({"rejected", std::to_string(m.rejected)});
+    table.add_row({"shed", std::to_string(m.shed)});
+    table.add_row({"revenue", report::format_double(m.revenue, 2)});
+    table.add_row({"shed revenue", report::format_double(m.shed_revenue, 2)});
+    table.add_row({"state digest", report::hex_u64(controller.state_digest())});
+    table.add_row({"wal generation", std::to_string(controller.wal_generation())});
+    std::cout << table.to_text();
+    return 0;
+}
+
 int run(const Options& opt) {
+    if (!opt.serve_dir.empty()) return run_serve(opt);
     std::vector<sim::Algorithm> algorithms;
     if (opt.algorithms.empty()) {
         for (const auto& [name, a] : algorithm_registry()) {
