@@ -1,0 +1,63 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap the capability-based annotations documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that lock
+// discipline is machine-checked at compile time: a field marked
+// VNFR_GUARDED_BY(mu) cannot be read or written without holding `mu`, a
+// function marked VNFR_REQUIRES(mu) cannot be called without it, and a
+// scoped VNFR_ACQUIRE/VNFR_RELEASE mismatch is a compile error. Builds
+// with -DVNFR_THREAD_SAFETY=ON turn the analysis on (Clang only) with
+// -Werror=thread-safety; on GCC and other compilers every macro expands
+// to nothing, so annotated code stays portable.
+//
+// The annotated primitives that carry these attributes live in
+// common/mutex.hpp (common::Mutex / common::MutexLock / common::CondVar).
+// Raw std::mutex does not participate in the analysis — new concurrent
+// code should use the annotated wrappers so the `-Wthread-safety` CI job
+// and tools/vnfr_asa.py's lock-order rule can both see its locks.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VNFR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VNFR_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define VNFR_CAPABILITY(x) VNFR_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define VNFR_SCOPED_CAPABILITY VNFR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: readable/writable only while holding the given capability.
+#define VNFR_GUARDED_BY(x) VNFR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members: the pointee (not the pointer) is protected by the
+/// given capability.
+#define VNFR_PT_GUARDED_BY(x) VNFR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: the caller must hold the listed capabilities on entry (and
+/// still holds them on exit).
+#define VNFR_REQUIRES(...) \
+    VNFR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Functions: acquire the listed capabilities (held on exit, not entry).
+#define VNFR_ACQUIRE(...) \
+    VNFR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Functions: release the listed capabilities (held on entry, not exit).
+#define VNFR_RELEASE(...) \
+    VNFR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the listed capabilities (deadlock
+/// guard for self-locking public entry points).
+#define VNFR_EXCLUDES(...) VNFR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Functions returning a reference to a capability (lock accessors).
+#define VNFR_RETURN_CAPABILITY(x) VNFR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where
+/// the analysis cannot express the invariant, and say why at the site.
+#define VNFR_NO_THREAD_SAFETY_ANALYSIS \
+    VNFR_THREAD_ANNOTATION(no_thread_safety_analysis)

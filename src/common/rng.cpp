@@ -76,7 +76,7 @@ double Rng::exponential(double lambda) {
 double Rng::bounded_pareto(double alpha, double lo, double hi) {
     if (alpha <= 0.0 || lo <= 0.0 || hi < lo)
         throw std::invalid_argument("Rng::bounded_pareto: bad parameters");
-    if (lo == hi) return lo;  // vnfr-lint: allow(float-eq)
+    if (lo == hi) return lo;  // vnfr-lint: allow(float-eq) degenerate equal-bounds range, exact by construction
     const double u = uniform01();
     VNFR_CHECK(lo > 0.0 && hi > 0.0, "bounded_pareto: pow needs positive bounds");
     const double la = std::pow(lo, alpha);
@@ -113,7 +113,7 @@ double Rng::normal(double mean, double stddev) {
         u = uniform(-1.0, 1.0);
         v = uniform(-1.0, 1.0);
         s = u * u + v * v;
-    } while (s >= 1.0 || s == 0.0);  // vnfr-lint: allow(float-eq)
+    } while (s >= 1.0 || s == 0.0);  // vnfr-lint: allow(float-eq) rejection-sampling guard against exact zero
     VNFR_DCHECK(s > 0.0 && s < 1.0, "Marsaglia polar: s in (0, 1) by the loop above");
     const double factor = std::sqrt(-2.0 * std::log(s) / s);
     cached_normal_ = v * factor;

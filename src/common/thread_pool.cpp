@@ -22,10 +22,11 @@ struct ThreadPool::Job {
     std::atomic<std::size_t> next_block{0};
     std::atomic<std::size_t> finished_blocks{0};
 
-    std::mutex error_mutex;
+    Mutex error_mutex;
     /// (block index, exception) pairs; rethrow the lowest block index so
     /// failure reporting does not depend on thread scheduling.
-    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors
+        VNFR_GUARDED_BY(error_mutex);
 };
 
 ThreadPool::ThreadPool(std::size_t thread_count)
@@ -38,7 +39,7 @@ ThreadPool::ThreadPool(std::size_t thread_count)
 
 ThreadPool::~ThreadPool() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(&mutex_);
         stopping_ = true;
     }
     job_cv_.notify_all();
@@ -67,7 +68,7 @@ void ThreadPool::run_blocks(Job& job) {
         try {
             (*job.body)(lo, hi);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(job.error_mutex);
+            const MutexLock lock(&job.error_mutex);
             job.errors.emplace_back(block, std::current_exception());
         }
         job.finished_blocks.fetch_add(1, std::memory_order_release);
@@ -79,10 +80,10 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            job_cv_.wait(lock, [&] {
-                return stopping_ || (job_ != nullptr && job_epoch_ != seen_epoch);
-            });
+            MutexLock lock(&mutex_);
+            while (!stopping_ && (job_ == nullptr || job_epoch_ == seen_epoch)) {
+                job_cv_.wait(mutex_);
+            }
             if (stopping_) return;
             job = job_;
             seen_epoch = job_epoch_;
@@ -92,7 +93,7 @@ void ThreadPool::worker_loop() {
         // notifying orders this worker's finished_blocks increments against
         // the caller's predicate check, ruling out a lost wakeup.
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const MutexLock lock(&mutex_);
         }
         done_cv_.notify_one();
     }
@@ -131,7 +132,7 @@ void ThreadPool::parallel_for_blocked(std::size_t begin, std::size_t end,
     job->body = &body;
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(&mutex_);
         VNFR_CHECK(job_ == nullptr, "ThreadPool::parallel_for is not reentrant");
         job_ = job;
         ++job_epoch_;
@@ -143,14 +144,19 @@ void ThreadPool::parallel_for_blocked(std::size_t begin, std::size_t end,
     run_blocks(*job);
 
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] {
-            return job->finished_blocks.load(std::memory_order_acquire) ==
-                   job->block_count;
-        });
+        MutexLock lock(&mutex_);
+        while (job->finished_blocks.load(std::memory_order_acquire) !=
+               job->block_count) {
+            done_cv_.wait(mutex_);
+        }
         job_ = nullptr;
     }
 
+    // All workers are past their last errors write (finished_blocks was
+    // published with release order), but take the error lock anyway: the
+    // uncontended acquire is free and keeps every access to the guarded
+    // vector inside its capability.
+    const MutexLock error_lock(&job->error_mutex);
     if (!job->errors.empty()) {
         std::pair<std::size_t, std::exception_ptr>* first = &job->errors.front();
         for (auto& e : job->errors) {

@@ -19,13 +19,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
-#include <condition_variable>
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace vnfr::common {
 
@@ -75,12 +76,14 @@ class ThreadPool {
     std::size_t thread_count_;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable job_cv_;   ///< workers: a job was posted / stop
-    std::condition_variable done_cv_;  ///< caller: all blocks finished
-    std::shared_ptr<Job> job_;         ///< current job; null when idle
-    std::uint64_t job_epoch_{0};       ///< bumped per posted job
-    bool stopping_{false};
+    Mutex mutex_;
+    CondVar job_cv_;   ///< workers: a job was posted / stop
+    CondVar done_cv_;  ///< caller: all blocks finished
+    /// Current job; null when idle.
+    std::shared_ptr<Job> job_ VNFR_GUARDED_BY(mutex_);
+    /// Bumped per posted job.
+    std::uint64_t job_epoch_ VNFR_GUARDED_BY(mutex_) = 0;
+    bool stopping_ VNFR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vnfr::common

@@ -104,7 +104,7 @@ PresolveResult presolve(const LinearProgram& lp) {
             for (const auto& [v, coeff] : row.terms) {
                 // Exact sparsity test: fix_variable() zeroes coefficients
                 // literally, so tolerance would misclassify tiny live terms.
-                if (coeff != 0.0 && work.var_active[v]) {  // vnfr-lint: allow(float-eq)
+                if (coeff != 0.0 && work.var_active[v]) {  // vnfr-lint: allow(float-eq) sparsity test on literally-zeroed coefficients
                     ++live;
                     live_var = v;
                     live_coeff = coeff;
@@ -126,7 +126,7 @@ PresolveResult presolve(const LinearProgram& lp) {
             }
             if (live == 1) {
                 // Singleton row -> bound on the remaining variable.
-                VNFR_CHECK(live_coeff != 0.0,  // vnfr-lint: allow(float-eq)
+                VNFR_CHECK(live_coeff != 0.0,  // vnfr-lint: allow(float-eq) invariant check mirrors the exact sparsity test
                            "singleton row with zero live coefficient");
                 const double bound = row.rhs / live_coeff;
                 Relation rel = row.relation;
@@ -178,7 +178,7 @@ PresolveResult presolve(const LinearProgram& lp) {
         if (!row.active) continue;
         std::vector<std::pair<std::size_t, double>> terms;
         for (const auto& [v, coeff] : row.terms) {
-            if (coeff != 0.0 && work.var_active[v]) {  // vnfr-lint: allow(float-eq)
+            if (coeff != 0.0 && work.var_active[v]) {  // vnfr-lint: allow(float-eq) sparsity test on literally-zeroed coefficients
                 VNFR_DCHECK(new_index[v] != static_cast<std::size_t>(-1),
                             "active variable ", v, " missing from the reduced program");
                 terms.emplace_back(new_index[v], coeff);

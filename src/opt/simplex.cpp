@@ -150,7 +150,7 @@ void RevisedSimplex::install_initial_basis() {
     // Slacks (+1 columns) form the natural starting basis where available.
     for (std::size_t j = sf_.structural_count; j < sf_.columns.size(); ++j) {
         const auto& col = sf_.columns[j];
-        if (col.size() == 1 && col[0].second == 1.0 &&  // vnfr-lint: allow(float-eq)
+        if (col.size() == 1 && col[0].second == 1.0 &&  // vnfr-lint: allow(float-eq) slack columns carry a literal 1.0 coefficient
             !has_basic[col[0].first]) {
             basis_[col[0].first] = j;
             has_basic[col[0].first] = 1;
@@ -210,7 +210,7 @@ void RevisedSimplex::refactorize() {
         for (std::size_t r = 0; r < m_; ++r) {
             if (r == col) continue;
             const double f = mat[r * m_ + col];
-            if (f == 0.0) continue;  // vnfr-lint: allow(float-eq)
+            if (f == 0.0) continue;  // vnfr-lint: allow(float-eq) exact-zero skip only avoids a no-op row update
             for (std::size_t c = 0; c < m_; ++c) {
                 mat[r * m_ + c] -= f * mat[col * m_ + c];
                 inv[r * m_ + c] -= f * inv[col * m_ + c];
@@ -238,7 +238,7 @@ void RevisedSimplex::compute_duals(const std::vector<double>& cost,
     y.assign(m_, 0.0);
     for (std::size_t r = 0; r < m_; ++r) {
         const double cb = cost[basis_[r]];
-        if (cb == 0.0) continue;  // vnfr-lint: allow(float-eq)
+        if (cb == 0.0) continue;  // vnfr-lint: allow(float-eq) exact-zero skip only avoids a no-op accumulation
         const double* row = &binv_[r * m_];
         for (std::size_t i = 0; i < m_; ++i) y[i] += cb * row[i];
     }
@@ -277,7 +277,7 @@ void RevisedSimplex::pivot(std::size_t entering, std::size_t leaving_row,
     for (std::size_t i = 0; i < m_; ++i) {
         if (i == leaving_row) continue;
         const double f = w[i];
-        if (f == 0.0) continue;  // vnfr-lint: allow(float-eq)
+        if (f == 0.0) continue;  // vnfr-lint: allow(float-eq) exact-zero skip only avoids a no-op row update
         double* irow = &binv_[i * m_];
         for (std::size_t c = 0; c < m_; ++c) irow[c] -= f * prow[c];
     }
@@ -312,7 +312,7 @@ void RevisedSimplex::drive_out_artificials() {
                 for (std::size_t r = 0; r < m_; ++r) {
                     if (r == i) continue;
                     const double f = w[r];
-                    if (f == 0.0) continue;  // vnfr-lint: allow(float-eq)
+                    if (f == 0.0) continue;  // vnfr-lint: allow(float-eq) exact-zero skip only avoids a no-op row update
                     double* rrow = &binv_[r * m_];
                     for (std::size_t c = 0; c < m_; ++c) rrow[c] -= f * prow[c];
                 }
@@ -398,7 +398,7 @@ RevisedSimplex::StepResult RevisedSimplex::step(const std::vector<double>& cost,
 
     // Apply the move to the basic values.
     for (std::size_t i = 0; i < m_; ++i) {
-        if (w[i] != 0.0) xb_[i] -= sigma * t_max * w[i];  // vnfr-lint: allow(float-eq)
+        if (w[i] != 0.0) xb_[i] -= sigma * t_max * w[i];  // vnfr-lint: allow(float-eq) exact-zero skip only avoids a no-op move
     }
 
     if (leaving == m_) {

@@ -63,6 +63,9 @@ AdmissionController::AdmissionController(const core::Instance& instance,
         throw std::invalid_argument("AdmissionController: queue_capacity must be >= 1");
     }
     config_digest_ = instance_config_digest(instance_, scheme_);
+    // No other thread can see a partially-constructed controller, but the
+    // recovery helpers require mu_, so hold it for the uncontended setup.
+    const common::MutexLock lock(&mu_);
     scheduler_ = make_scheduler(instance_, scheme_);
     VNFR_CHECK(scheduler_->supports_state_io(),
                "serve layer requires a scheduler with state export/import");
@@ -178,7 +181,7 @@ void AdmissionController::replay_record(const WalRecord& rec, const std::string&
 }
 
 void AdmissionController::mark_covered(std::uint64_t seq) {
-    if (is_covered(seq)) return;
+    if (is_covered_locked(seq)) return;
     covered_sparse_.insert(seq);
     while (!covered_sparse_.empty() && covered_sparse_.count(covered_watermark_) != 0) {
         covered_sparse_.erase(covered_watermark_);
@@ -186,8 +189,13 @@ void AdmissionController::mark_covered(std::uint64_t seq) {
     }
 }
 
-bool AdmissionController::is_covered(std::uint64_t seq) const {
+bool AdmissionController::is_covered_locked(std::uint64_t seq) const {
     return seq < covered_watermark_ || covered_sparse_.count(seq) != 0;
+}
+
+bool AdmissionController::is_covered(std::uint64_t seq) const {
+    const common::MutexLock lock(&mu_);
+    return is_covered_locked(seq);
 }
 
 void AdmissionController::append_wal(const WalRecord& rec) {
@@ -235,7 +243,8 @@ void AdmissionController::shed(const QueueItem& victim) {
 
 SubmitResult AdmissionController::submit(std::uint64_t seq,
                                          const workload::Request& request) {
-    if (is_covered(seq)) return SubmitResult::kAlreadyCovered;
+    const common::MutexLock lock(&mu_);
+    if (is_covered_locked(seq)) return SubmitResult::kAlreadyCovered;
     // Uncovered submissions must arrive in stream order — FIFO processing
     // equals seq order, which the recovery protocol relies on.
     VNFR_CHECK(queue_.empty() || seq > queue_.back().seq,
@@ -270,6 +279,12 @@ SubmitResult AdmissionController::submit(std::uint64_t seq,
 }
 
 std::vector<ProcessedOutcome> AdmissionController::pump(std::size_t max_requests) {
+    const common::MutexLock lock(&mu_);
+    return pump_locked(max_requests);
+}
+
+std::vector<ProcessedOutcome> AdmissionController::pump_locked(
+    std::size_t max_requests) {
     std::vector<ProcessedOutcome> outcomes;
     while (max_requests > 0 && !queue_.empty()) {
         --max_requests;
@@ -286,21 +301,27 @@ std::vector<ProcessedOutcome> AdmissionController::pump(std::size_t max_requests
         queue_.pop_front();
         apply_decision(item.seq, item.request, decision);
         outcomes.push_back(ProcessedOutcome{item.seq, item.request, decision});
-        if (wal_records_ >= config_.checkpoint_every) checkpoint();
+        if (wal_records_ >= config_.checkpoint_every) checkpoint_locked();
     }
     return outcomes;
 }
 
 std::vector<ProcessedOutcome> AdmissionController::drain() {
+    const common::MutexLock lock(&mu_);
     std::vector<ProcessedOutcome> outcomes;
     while (!queue_.empty()) {
-        std::vector<ProcessedOutcome> batch = pump(queue_.size());
+        std::vector<ProcessedOutcome> batch = pump_locked(queue_.size());
         outcomes.insert(outcomes.end(), batch.begin(), batch.end());
     }
     return outcomes;
 }
 
 void AdmissionController::checkpoint() {
+    const common::MutexLock lock(&mu_);
+    checkpoint_locked();
+}
+
+void AdmissionController::checkpoint_locked() {
     ControllerSnapshot snap;
     snap.scheme = static_cast<std::uint8_t>(scheme_);
     snap.config_digest = config_digest_;
@@ -332,6 +353,7 @@ void AdmissionController::checkpoint() {
 }
 
 std::uint64_t AdmissionController::state_digest() const {
+    const common::MutexLock lock(&mu_);
     common::Fnv1a digest;
     digest.mix(static_cast<std::uint64_t>(scheme_));
     digest.mix(config_digest_);

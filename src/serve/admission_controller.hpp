@@ -23,6 +23,15 @@
 // lowest-payment request among (queued + incoming) is shed — logged,
 // counted in shed_revenue, and reported to the caller. Ties prefer
 // keeping the older request.
+//
+// Thread safety. All mutable state is guarded by one internal
+// common::Mutex (annotated for Clang thread-safety analysis): submit,
+// pump, drain, checkpoint, and every accessor may be called from any
+// thread. WAL appends and the checkpoint rotation happen while the lock
+// is held, so the durable-before-observable ordering is preserved under
+// concurrency. scheduler() returns a reference into guarded state — it
+// is safe only while no other thread is mutating the controller (use it
+// from quiesced test/report code, not concurrently with pump()).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "core/instance.hpp"
 #include "core/offline.hpp"
 #include "core/schedule.hpp"
@@ -90,47 +101,74 @@ class AdmissionController {
     /// Feeds one request into the stream. `seq` is the request's position
     /// in the stream; submit seqs in increasing order (covered seqs may be
     /// replayed in any order and are skipped).
-    SubmitResult submit(std::uint64_t seq, const workload::Request& request);
+    SubmitResult submit(std::uint64_t seq, const workload::Request& request)
+        VNFR_EXCLUDES(mu_);
 
     /// Decides queued requests in FIFO order, up to `max_requests`, WAL-
     /// logging each outcome and checkpointing on cadence. Returns the
     /// decided batch.
-    std::vector<ProcessedOutcome> pump(std::size_t max_requests);
+    std::vector<ProcessedOutcome> pump(std::size_t max_requests) VNFR_EXCLUDES(mu_);
 
     /// pump() until the queue is empty.
-    std::vector<ProcessedOutcome> drain();
+    std::vector<ProcessedOutcome> drain() VNFR_EXCLUDES(mu_);
 
     /// Takes a snapshot now and rotates to a fresh WAL generation.
-    void checkpoint();
+    void checkpoint() VNFR_EXCLUDES(mu_);
 
-    [[nodiscard]] const ServeMetrics& metrics() const { return metrics_; }
-    [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
-    [[nodiscard]] const std::vector<AdmittedRecord>& admitted_records() const {
+    [[nodiscard]] ServeMetrics metrics() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return metrics_;
+    }
+    [[nodiscard]] std::size_t queue_size() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return queue_.size();
+    }
+    [[nodiscard]] std::vector<AdmittedRecord> admitted_records() const
+        VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
         return admitted_;
     }
     /// Smallest stream seq whose outcome is not yet durable; after a
     /// crash, resubmit from here.
-    [[nodiscard]] std::uint64_t resume_cursor() const { return covered_watermark_; }
-    [[nodiscard]] bool is_covered(std::uint64_t seq) const;
+    [[nodiscard]] std::uint64_t resume_cursor() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return covered_watermark_;
+    }
+    [[nodiscard]] bool is_covered(std::uint64_t seq) const VNFR_EXCLUDES(mu_);
     /// Records appended to the current WAL generation (resets at
     /// checkpoint).
-    [[nodiscard]] std::uint64_t wal_records() const { return wal_records_; }
-    [[nodiscard]] std::uint64_t wal_generation() const { return wal_seq_; }
-    [[nodiscard]] const core::OnlineScheduler& scheduler() const { return *scheduler_; }
+    [[nodiscard]] std::uint64_t wal_records() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return wal_records_;
+    }
+    [[nodiscard]] std::uint64_t wal_generation() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return wal_seq_;
+    }
+    /// See the thread-safety note in the file comment: the returned
+    /// reference is into guarded state and must not be used concurrently
+    /// with mutating calls.
+    [[nodiscard]] const core::OnlineScheduler& scheduler() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return *scheduler_;
+    }
     [[nodiscard]] core::Scheme scheme() const { return scheme_; }
 
     /// FNV-1a digest over the complete logical state: scheme, counters,
     /// revenue bits, dual-price bits, usage bits, coverage, and the
     /// admitted ledger. Two controllers with equal digests decide every
     /// future request identically.
-    [[nodiscard]] std::uint64_t state_digest() const;
+    [[nodiscard]] std::uint64_t state_digest() const VNFR_EXCLUDES(mu_);
 
     /// Shape digest binding persisted files to this instance + scheme.
     [[nodiscard]] std::uint64_t config_digest() const { return config_digest_; }
 
     /// Test hook: throw CrashInjected immediately after the n-th WAL
     /// append from now (1 = crash after the next record). 0 disables.
-    void crash_after_records(std::uint64_t n) { crash_countdown_ = n; }
+    void crash_after_records(std::uint64_t n) VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        crash_countdown_ = n;
+    }
 
   private:
     struct QueueItem {
@@ -138,34 +176,47 @@ class AdmissionController {
         workload::Request request;
     };
 
-    void recover();
-    void replay_record(const WalRecord& rec, const std::string& path);
-    void mark_covered(std::uint64_t seq);
-    void append_wal(const WalRecord& rec);
+    void recover() VNFR_REQUIRES(mu_);
+    void replay_record(const WalRecord& rec, const std::string& path)
+        VNFR_REQUIRES(mu_);
+    void mark_covered(std::uint64_t seq) VNFR_REQUIRES(mu_);
+    [[nodiscard]] bool is_covered_locked(std::uint64_t seq) const VNFR_REQUIRES(mu_);
+    void append_wal(const WalRecord& rec) VNFR_REQUIRES(mu_);
     void apply_decision(std::uint64_t seq, const workload::Request& request,
-                        const core::Decision& decision);
-    void shed(const QueueItem& victim);
+                        const core::Decision& decision) VNFR_REQUIRES(mu_);
+    void shed(const QueueItem& victim) VNFR_REQUIRES(mu_);
+    std::vector<ProcessedOutcome> pump_locked(std::size_t max_requests)
+        VNFR_REQUIRES(mu_);
+    void checkpoint_locked() VNFR_REQUIRES(mu_);
     [[nodiscard]] std::string snapshot_path() const;
     [[nodiscard]] std::string wal_path(std::uint64_t generation) const;
-    void remove_stale_wals() const;
+    void remove_stale_wals() const VNFR_REQUIRES(mu_);
 
+    // Immutable after construction (no guard needed).
     const core::Instance& instance_;
     core::Scheme scheme_;
     ServeConfig config_;
     std::uint64_t config_digest_{0};
-    std::unique_ptr<core::OnlineScheduler> scheduler_;
 
-    std::deque<QueueItem> queue_;
-    ServeMetrics metrics_;
-    std::vector<AdmittedRecord> admitted_;
-    std::uint64_t covered_watermark_{0};
-    std::set<std::uint64_t> covered_sparse_;
+    /// One lock for all mutable state: admissions are serialized end to
+    /// end (decide -> WAL append -> apply), which is exactly the ordering
+    /// the recovery proof needs. mutable so const accessors can lock.
+    mutable common::Mutex mu_;
 
-    std::uint64_t wal_seq_{0};
-    std::uint64_t wal_records_{0};  ///< records in the current generation
-    std::uint64_t appends_this_run_{0};  ///< appends since construction
-    std::optional<WalWriter> wal_;
-    std::uint64_t crash_countdown_{0};
+    std::unique_ptr<core::OnlineScheduler> scheduler_ VNFR_GUARDED_BY(mu_);
+    std::deque<QueueItem> queue_ VNFR_GUARDED_BY(mu_);
+    ServeMetrics metrics_ VNFR_GUARDED_BY(mu_);
+    std::vector<AdmittedRecord> admitted_ VNFR_GUARDED_BY(mu_);
+    std::uint64_t covered_watermark_ VNFR_GUARDED_BY(mu_) = 0;
+    std::set<std::uint64_t> covered_sparse_ VNFR_GUARDED_BY(mu_);
+
+    std::uint64_t wal_seq_ VNFR_GUARDED_BY(mu_) = 0;
+    /// Records in the current generation.
+    std::uint64_t wal_records_ VNFR_GUARDED_BY(mu_) = 0;
+    /// Appends since construction.
+    std::uint64_t appends_this_run_ VNFR_GUARDED_BY(mu_) = 0;
+    std::optional<WalWriter> wal_ VNFR_GUARDED_BY(mu_);
+    std::uint64_t crash_countdown_ VNFR_GUARDED_BY(mu_) = 0;
 };
 
 /// The shape digest save/load validates against: cloudlet capacities and

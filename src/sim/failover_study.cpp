@@ -98,6 +98,7 @@ FailoverStudyOutcome run_failover_replications(const core::Instance& instance,
 
     std::vector<FailoverReport> reports(config.replications);
     {
+        common::ProgressMeter progress(config.replications, config.progress);
         common::ThreadPool pool(config.threads);
         pool.parallel_for_blocked(
             0, config.replications, 1, [&](std::size_t lo, std::size_t hi) {
@@ -105,6 +106,7 @@ FailoverStudyOutcome run_failover_replications(const core::Instance& instance,
                     FailoverConfig per = config.process;
                     per.seed = common::stream_seed(config.master_seed, k);
                     reports[k] = run_failover_study(instance, decisions, per);
+                    progress.tick();
                 }
             });
     }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/progress.hpp"
 #include "common/stats.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
@@ -67,6 +68,11 @@ struct FailoverStudyConfig {
     std::uint64_t master_seed{0xfa11};
     /// 0 consults VNFR_THREADS / hardware (ThreadPool::default_thread_count).
     std::size_t threads{0};
+    /// Optional progress callback, invoked serially (under a lock in a
+    /// common::ProgressMeter) as each replication finishes. Purely
+    /// observational: it never influences the study's results, which stay
+    /// bit-identical at any thread count.
+    common::ProgressFn progress{};
 };
 
 struct FailoverStudyOutcome {

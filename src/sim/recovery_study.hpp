@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/progress.hpp"
 #include "common/stats.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
@@ -38,6 +39,11 @@ struct RecoveryStudyConfig {
     std::size_t threads{0};
     /// Optional injector override; empty uses generate_fault_schedule.
     FaultScheduleFactory injector{};
+    /// Optional progress callback, invoked serially (under a lock in a
+    /// common::ProgressMeter) as each replication finishes. Purely
+    /// observational: it never influences the study's results, which stay
+    /// bit-identical at any thread count.
+    common::ProgressFn progress{};
 };
 
 struct RecoveryStudyOutcome {

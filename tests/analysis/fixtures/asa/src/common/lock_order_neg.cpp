@@ -1,0 +1,36 @@
+// Negative fixture for the lock-order rule: acquisitions that respect
+// the declared hierarchy, including the two shapes that trip naive
+// held-lock tracking — sibling scopes (earlier lock already released)
+// and nested declared order.
+#include "common/mutex.hpp"
+
+namespace vnfr::common {
+
+struct ControllerLike {
+    Mutex mu_;
+    Mutex mutex_;
+    Mutex error_mutex;
+};
+
+void nested_in_declared_order(ControllerLike& c) {
+    const MutexLock outer(&c.mu_);
+    {
+        const MutexLock middle(&c.mutex_);
+        {
+            const MutexLock leaf(&c.error_mutex);
+        }
+    }
+}
+
+// Sibling scopes: error_mutex is released before mutex_ is taken, so no
+// inversion exists even though a later acquisition has a smaller rank.
+void sequential_sibling_scopes(ControllerLike& c) {
+    {
+        const MutexLock first(&c.error_mutex);
+    }
+    {
+        const MutexLock second(&c.mutex_);
+    }
+}
+
+}  // namespace vnfr::common

@@ -1,0 +1,31 @@
+// Positive fixture for the vnfr-asa lock-order rule against the real
+// hierarchy in tools/lock_hierarchy.txt (outermost first: mu_, mutex_,
+// error_mutex). Undeclared locks, order inversions, and same-scope
+// re-acquisition must all be reported.
+#include "common/mutex.hpp"
+
+namespace vnfr::common {
+
+struct PoolLike {
+    Mutex mutex_;
+    Mutex error_mutex;
+    Mutex rogue_lock;
+};
+
+void takes_undeclared_lock(PoolLike& pool) {
+    const MutexLock lock(&pool.rogue_lock);  // expect: lock-order
+}
+
+void inverts_declared_order(PoolLike& pool) {
+    const MutexLock inner_first(&pool.error_mutex);
+    {
+        const MutexLock outer_second(&pool.mutex_);  // expect: lock-order
+    }
+}
+
+void reacquires_same_lock(PoolLike& pool) {
+    const MutexLock first(&pool.mutex_);
+    const MutexLock second(&pool.mutex_);  // expect: lock-order
+}
+
+}  // namespace vnfr::common

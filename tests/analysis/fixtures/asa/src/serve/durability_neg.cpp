@@ -1,0 +1,22 @@
+// Negative fixture for the durability-order rules: the canonical safe
+// sequences (temp fsync -> rename -> parent dir sync; append -> fdatasync)
+// must produce zero findings.
+#include <string>
+
+namespace vnfr::serve {
+
+bool write_all(int fd, const void* data, std::size_t len);
+void fsync_parent_dir(const std::string& path);
+
+void publish_safely(int fd, const std::string& tmp, const std::string& path) {
+    ::fsync(fd);
+    ::rename(tmp.c_str(), path.c_str());
+    fsync_parent_dir(path);
+}
+
+bool append_safely(int fd, const std::string& payload) {
+    if (!write_all(fd, payload.data(), payload.size())) return false;
+    return ::fdatasync(fd) == 0;
+}
+
+}  // namespace vnfr::serve

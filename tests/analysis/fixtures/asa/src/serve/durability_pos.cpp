@@ -1,0 +1,31 @@
+// Positive fixture for the vnfr-asa durability-order rules. Lives under
+// src/serve/ in the fixture tree — the scope where crash-recovery
+// proofs assume the write -> fsync -> rename -> dirsync order.
+#include <string>
+
+namespace vnfr::serve {
+
+bool write_all(int fd, const void* data, std::size_t len);
+void fsync_parent_dir(const std::string& path);
+
+// rename with no fsync of the temp file first and no directory sync
+// after: both order rules fire on the same call site.
+void publish_unsafely(const std::string& tmp, const std::string& path) {
+    ::rename(tmp.c_str(), path.c_str());  // expect: durability-rename-fsync, durability-rename-dirsync
+}
+
+// rename whose fsync comes *after* it: ordering matters, not presence.
+void publish_fsync_too_late(int fd, const std::string& tmp,
+                            const std::string& path) {
+    ::rename(tmp.c_str(), path.c_str());  // expect: durability-rename-fsync
+    ::fsync(fd);
+    fsync_parent_dir(path);
+}
+
+// WAL append whose bytes never reach a sync before the function returns
+// (and could therefore be externalized before they are durable).
+bool append_unsafely(int fd, const std::string& payload) {
+    return write_all(fd, payload.data(), payload.size());  // expect: durability-wal-sync
+}
+
+}  // namespace vnfr::serve

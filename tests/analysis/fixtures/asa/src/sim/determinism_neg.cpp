@@ -1,0 +1,38 @@
+// Negative fixture for the vnfr-asa determinism rules: a replication
+// body written the way the real tree writes them — counter-based RNG
+// streams, ordered containers for anything the digest consumes — must
+// produce zero findings even though the file clearly feeds a checksum.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vnfr::sim {
+
+struct Rng {
+    double uniform01();
+};
+
+std::uint64_t digest_accumulate(std::uint64_t digest, double value);
+
+std::uint64_t deterministic_replication(Rng& rng) {
+    std::uint64_t digest = 1469598103934665603ULL;
+
+    // Ordered containers: iteration order is the key order, stable across
+    // runs, thread counts, and standard-library hash seeds.
+    std::map<int, double> per_server_load;
+    std::vector<double> samples;
+    for (int draw = 0; draw < 8; ++draw) {
+        const double u = rng.uniform01();
+        samples.push_back(u);
+        per_server_load[draw] = u;
+    }
+    for (const auto& entry : per_server_load) {
+        digest = digest_accumulate(digest, entry.second);
+    }
+    for (const double s : samples) {
+        digest = digest_accumulate(digest, s);
+    }
+    return digest;
+}
+
+}  // namespace vnfr::sim

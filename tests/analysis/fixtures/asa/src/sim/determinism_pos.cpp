@@ -1,0 +1,43 @@
+// Positive fixture for the vnfr-asa determinism rules. Lives under a
+// src/sim/ path inside the fixture tree so the production scoping logic
+// (determinism rules apply to src/sim + src/core) is what puts it in
+// scope — the analyzer is pointed at the fixture root, not the repo.
+//
+// '// expect: <rule>[, <rule>]' markers name the rule ids that must be
+// reported on that exact line; tests/analysis/run_fixture_tests.py and
+// 'vnfr_asa.py --self-check' fail on any mismatch in either direction.
+// Fixtures are never compiled.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <random>
+#include <unordered_map>
+
+namespace vnfr::sim {
+
+std::uint64_t digest_accumulate(std::uint64_t digest, double value);
+
+std::uint64_t nondeterministic_replication() {
+    std::uint64_t digest = 1469598103934665603ULL;
+
+    int draw = std::rand();                                // expect: nondet-rand
+    std::random_device entropy;                            // expect: nondet-rand
+    auto stamp = std::chrono::steady_clock::now();         // expect: nondet-clock
+    auto wall = std::chrono::system_clock::now();          // expect: nondet-clock
+
+    const int* ptr = &draw;
+    std::size_t h = std::hash<const int*>{}(ptr);          // expect: nondet-addr-hash
+    auto cookie = reinterpret_cast<std::uintptr_t>(ptr);   // expect: nondet-addr-hash
+
+    std::unordered_map<int, double> per_server_load;
+    per_server_load[draw] = static_cast<double>(h + cookie);
+    for (const auto& entry : per_server_load) {            // expect: nondet-unordered-iter
+        digest = digest_accumulate(digest, entry.second);
+    }
+    (void)stamp;
+    (void)wall;
+    return digest;
+}
+
+}  // namespace vnfr::sim

@@ -1,0 +1,17 @@
+// Negative fixture for suppression handling: a properly justified
+// suppression silences the named rule on its own line and on the line
+// below (comment-above style), and produces no findings of its own.
+#include <cstdlib>
+
+namespace vnfr::sim {
+
+unsigned mixed_entropy_probe() {
+    // Exercises both suppression placements the grammar supports.
+    unsigned a =
+        static_cast<unsigned>(std::rand());  // vnfr-asa: allow(nondet-rand) fixture exercising a same-line suppression
+    // vnfr-asa: allow(nondet-rand) fixture exercising a comment-above suppression
+    unsigned b = static_cast<unsigned>(std::rand());
+    return a ^ b;
+}
+
+}  // namespace vnfr::sim

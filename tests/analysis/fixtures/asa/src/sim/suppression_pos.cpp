@@ -1,0 +1,16 @@
+// Positive fixture for the vnfr-asa suppression-format rule: malformed
+// suppressions are findings themselves, and a malformed suppression
+// provides NO coverage — the underlying finding still fires (hence two
+// expected rules on the first violation line).
+#include <cstdlib>
+
+namespace vnfr::sim {
+
+int bad_suppressions() {
+    int a = std::rand();  // vnfr-asa: allow(nondet-rand) // expect: nondet-rand, suppression-format
+    // vnfr-asa: allow() a suppression naming no rule is malformed // expect: suppression-format
+    // vnfr-asa: allow(no-such-rule) unknown rule ids must be rejected // expect: suppression-format
+    return a;
+}
+
+}  // namespace vnfr::sim

@@ -1,0 +1,10 @@
+// expect: header-guard, namespace
+// Positive fixture: a header lacking the pragma-once guard (header-guard)
+// that opens the repo namespace but never closes it with the required
+// trailer comment (namespace). Both findings report line 1.
+
+namespace vnfr::fixture {
+
+inline int answer() { return 42; }
+
+}

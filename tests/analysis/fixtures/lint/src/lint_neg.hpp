@@ -1,0 +1,26 @@
+#pragma once
+// Negative fixture for the vnfr-lint rules: guarded math, tolerance-based
+// comparison, a justified exact comparison, and the full header
+// conventions must produce zero findings.
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace vnfr::fixture {
+
+inline bool almost_equal_demo(double a, double b) {
+    const double diff = a - b;
+    return std::abs(diff) <= 1e-12;
+}
+
+inline double guarded_log(double x) {
+    VNFR_CHECK(x > 0.0, "guarded_log: operand must be positive");
+    return std::log(x);
+}
+
+inline bool is_exactly_zeroed(double coeff) {
+    // Presolve zeroes coefficients literally, so the exact test is right.
+    return coeff == 0.0;  // vnfr-lint: allow(float-eq) sparsity test on a literally-zeroed value
+}
+
+}  // namespace vnfr::fixture

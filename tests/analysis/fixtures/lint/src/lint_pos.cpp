@@ -1,0 +1,27 @@
+// expect: namespace
+// Positive fixture for the vnfr-lint rules (this file deliberately never
+// opens the repo namespace, so the finding lands on line 1).
+#include <cmath>
+
+using namespace std;  // expect: using-std
+
+static double availability_product(double a, double b) {
+    double product = a * b;
+    if (product == 1.0) {  // expect: float-eq
+        return 1.0;
+    }
+    double penalty = std::log(product);  // expect: math-domain
+    if (a == b) {  // expect: float-eq
+        penalty += 0.5;
+    }
+    // A malformed (unjustified) suppression is a finding itself and
+    // provides no coverage for the line below it.
+    // vnfr-lint: allow(float-eq) // expect: suppression-format
+    if (product == 0.0) {  // expect: float-eq
+        return penalty;
+    }
+    if (penalty != 1.0) {  // vnfr-lint: allow(no-such-rule) unknown rule ids are rejected // expect: float-eq, suppression-format
+        penalty -= 1.0;
+    }
+    return penalty;
+}

@@ -1,0 +1,13 @@
+#pragma once
+// Negative fixture for the namespace rule's pure-preprocessor exemption:
+// a macro-only header (every non-blank code line is a preprocessor
+// directive, like src/common/annotations.hpp) defines no entities to
+// scope and must not be asked to open the repo namespace.
+
+#if defined(__clang__)
+#define FIXTURE_ATTR(x) __attribute__((x))
+#else
+#define FIXTURE_ATTR(x)
+#endif
+
+#define FIXTURE_GUARDED_BY(x) FIXTURE_ATTR(guarded_by(x))

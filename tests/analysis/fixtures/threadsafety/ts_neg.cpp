@@ -1,0 +1,39 @@
+// Negative fixture for the Clang thread-safety layer: idiomatic use of
+// the annotated primitives in common/mutex.hpp — scoped locking, a
+// REQUIRES helper called under the lock, and the explicit while-loop
+// CondVar wait pattern (predicate lambdas are invisible to the
+// analysis). MUST compile cleanly under -Werror=thread-safety.
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace vnfr::fixture {
+
+class BoundedCounter {
+public:
+    void bump() VNFR_EXCLUDES(mutex_) {
+        const common::MutexLock lock(&mutex_);
+        bump_locked();
+        cv_.notify_all();
+    }
+
+    void wait_for(int target) VNFR_EXCLUDES(mutex_) {
+        common::MutexLock lock(&mutex_);
+        while (value_ < target) {
+            cv_.wait(mutex_);
+        }
+    }
+
+    int value() VNFR_EXCLUDES(mutex_) {
+        const common::MutexLock lock(&mutex_);
+        return value_;
+    }
+
+private:
+    void bump_locked() VNFR_REQUIRES(mutex_) { ++value_; }
+
+    common::Mutex mutex_;
+    common::CondVar cv_;
+    int value_ VNFR_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace vnfr::fixture

@@ -1,0 +1,31 @@
+// Positive fixture for the Clang thread-safety layer: every function
+// below violates an annotation on the primitives in common/mutex.hpp and
+// MUST be rejected by 'clang++ -Wthread-safety -Werror=thread-safety'.
+// tests/analysis/run_threadsafety_fixtures.py compiles this file and
+// fails if it is accepted. Never compiled by the normal build.
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace vnfr::fixture {
+
+class Counter {
+public:
+    // Writes a guarded field without holding its capability.
+    void unguarded_bump() { ++value_; }
+
+    // Declares the requirement but the caller below ignores it.
+    void bump_locked() VNFR_REQUIRES(mutex_) { ++value_; }
+
+    void caller_without_lock() { bump_locked(); }
+
+    // Acquires but never releases: scoped-capability misuse.
+    void leaks_lock() {
+        mutex_.lock();
+    }
+
+private:
+    common::Mutex mutex_;
+    int value_ VNFR_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace vnfr::fixture

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fixture tests for the repo's static analyzers.
+
+Runs each analyzer as a subprocess (the way CI and developers invoke it)
+in ``--json`` mode over its fixture tree under tests/analysis/fixtures/,
+then asserts an exact match between the emitted findings and the
+``// expect: <rule>[, <rule>]`` markers in the fixture sources:
+
+  * every expected (file, line, rule) triple is reported — positives fire
+    with exact rule ids AND line numbers;
+  * nothing else is reported — negatives stay silent;
+  * the JSON envelope carries the shared schema from
+    tools/vnfr_findings.py (tool/mode/rules/findings/count).
+
+vnfr_asa runs in ``--mode token`` here: line-exact expectations are
+pinned to the documented fallback front end, which is available
+everywhere. The AST front end is exercised by the ``analysis`` CI job
+(where libclang is installed) over the same fixtures via
+``vnfr_asa.py --self-check`` plus the real-tree sweep.
+
+Usage: run_fixture_tests.py <repo-root>
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def load_expectations(repo_root: Path, fixture_root: Path):
+    sys.path.insert(0, str(repo_root / "tools"))
+    import vnfr_asa  # noqa: E402  (shared '// expect:' grammar)
+
+    return vnfr_asa.expected_findings(fixture_root)
+
+
+def check_schema(payload: dict, label: str) -> list[str]:
+    errors = []
+    for key in ("tool", "mode", "rules", "findings", "count"):
+        if key not in payload:
+            errors.append(f"{label}: JSON output lacks '{key}'")
+    findings = payload.get("findings", [])
+    if payload.get("count") != len(findings):
+        errors.append(f"{label}: count={payload.get('count')} but "
+                      f"{len(findings)} findings listed")
+    for f in findings:
+        for key in ("path", "line", "rule", "message"):
+            if key not in f:
+                errors.append(f"{label}: finding lacks '{key}': {f}")
+        rule = f.get("rule")
+        if rule is not None and rule not in payload.get("rules", {}):
+            errors.append(f"{label}: finding uses unregistered rule "
+                          f"'{rule}'")
+    return errors
+
+
+def run_case(repo_root: Path, tool: str, fixture_dir: str,
+             extra_args: list[str]) -> list[str]:
+    fixture_root = repo_root / "tests" / "analysis" / "fixtures" / fixture_dir
+    script = repo_root / "tools" / tool
+    proc = subprocess.run(
+        [sys.executable, str(script), str(fixture_root), "--json", *extra_args],
+        capture_output=True, text=True)
+    label = f"{tool}/{fixture_dir}"
+    if proc.returncode not in (0, 1):
+        return [f"{label}: exit {proc.returncode}: {proc.stderr.strip()}"]
+    try:
+        payload = json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        return [f"{label}: --json output is not JSON ({exc})"]
+
+    errors = check_schema(payload, label)
+
+    got: dict[tuple[str, int], set[str]] = {}
+    for f in payload.get("findings", []):
+        got.setdefault((f["path"], f["line"]), set()).add(f["rule"])
+    expected = load_expectations(repo_root, fixture_root)
+
+    for key in sorted(set(expected) | set(got)):
+        missing = expected.get(key, set()) - got.get(key, set())
+        surplus = got.get(key, set()) - expected.get(key, set())
+        for rule in sorted(missing):
+            errors.append(f"{label}: {key[0]}:{key[1]}: expected "
+                          f"'{rule}' was not reported")
+        for rule in sorted(surplus):
+            errors.append(f"{label}: {key[0]}:{key[1]}: unexpected "
+                          f"finding '{rule}'")
+    exit_should_be = 1 if payload.get("findings") else 0
+    if proc.returncode != exit_should_be:
+        errors.append(f"{label}: exit code {proc.returncode} does not "
+                      f"match finding count {len(payload.get('findings', []))}")
+    if not errors:
+        print(f"{label}: ok ({len(payload.get('findings', []))} finding(s) "
+              f"matched {len(expected)} expectation site(s))")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo_root = Path(argv[1]).resolve()
+
+    errors: list[str] = []
+    errors += run_case(repo_root, "vnfr_asa.py", "asa", ["--mode", "token"])
+    errors += run_case(repo_root, "vnfr_lint.py", "lint", [])
+
+    for e in errors:
+        print(f"FAIL: {e}")
+    if errors:
+        print(f"run_fixture_tests: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("run_fixture_tests: all fixture expectations matched")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

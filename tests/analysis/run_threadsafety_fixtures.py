@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fixture test for the Clang thread-safety analysis layer.
+
+Compiles the fixtures under tests/analysis/fixtures/threadsafety/ with
+``clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety``:
+
+  ts_pos.cpp   must be REJECTED, with thread-safety diagnostics — proves
+               the annotations in common/{annotations,mutex}.hpp are live
+               and the analysis actually fires;
+  ts_neg.cpp   must be ACCEPTED with no warnings — proves the idiomatic
+               locking patterns the tree uses are annotation-clean.
+
+Exits 77 (ctest SKIP_RETURN_CODE) when no clang++ is available: the
+container image is GCC-only, where the annotation macros expand to
+nothing; the CI ``analysis`` job provides clang and runs this for real.
+
+Usage: run_threadsafety_fixtures.py <repo-root>
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang() -> str | None:
+    for name in CLANG_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_fixture(clang: str, repo_root: Path, fixture: Path):
+    cmd = [clang, "-fsyntax-only", "-std=c++20",
+           "-Wthread-safety", "-Werror=thread-safety",
+           "-I", str(repo_root / "src"), str(fixture)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo_root = Path(argv[1]).resolve()
+    fixture_dir = repo_root / "tests" / "analysis" / "fixtures" / "threadsafety"
+
+    clang = find_clang()
+    if clang is None:
+        print("run_threadsafety_fixtures: no clang++ on PATH; skipping "
+              "(the CI analysis job runs this with clang)")
+        return 77
+
+    errors: list[str] = []
+
+    rc, stderr = compile_fixture(clang, repo_root, fixture_dir / "ts_pos.cpp")
+    if rc == 0:
+        errors.append("ts_pos.cpp compiled cleanly; the thread-safety "
+                      "analysis did not fire on known violations")
+    elif "-Wthread-safety" not in stderr and "thread safety" not in stderr:
+        errors.append("ts_pos.cpp was rejected, but not by thread-safety "
+                      f"diagnostics:\n{stderr}")
+    else:
+        diags = stderr.count("error:")
+        print(f"ts_pos.cpp: rejected with {diags} thread-safety error(s), "
+              "as expected")
+
+    rc, stderr = compile_fixture(clang, repo_root, fixture_dir / "ts_neg.cpp")
+    if rc != 0:
+        errors.append(f"ts_neg.cpp failed to compile:\n{stderr}")
+    elif stderr.strip():
+        errors.append(f"ts_neg.cpp compiled with warnings:\n{stderr}")
+    else:
+        print("ts_neg.cpp: accepted cleanly, as expected")
+
+    for e in errors:
+        print(f"FAIL: {e}")
+    if errors:
+        return 1
+    print("run_threadsafety_fixtures: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,54 @@
+#include "common/progress.hpp"
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+
+namespace vnfr::common {
+namespace {
+
+TEST(ProgressMeter, ReportsEveryTickInOrderWhenSerial) {
+    std::vector<std::pair<std::size_t, std::size_t>> seen;
+    ProgressMeter meter(3, [&seen](std::size_t done, std::size_t total) {
+        seen.emplace_back(done, total);
+    });
+    meter.tick();
+    meter.tick();
+    meter.tick();
+    ASSERT_EQ(seen.size(), 3u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].first, i + 1);
+        EXPECT_EQ(seen[i].second, 3u);
+    }
+}
+
+TEST(ProgressMeter, EmptyCallbackIsANoOp) {
+    ProgressMeter meter(5, ProgressFn{});
+    meter.tick();  // must not crash or allocate a callback invocation
+    meter.tick();
+}
+
+TEST(ProgressMeter, CountsAllTicksAcrossConcurrentCallers) {
+    constexpr std::size_t kTicks = 512;
+    std::size_t observed_max = 0;
+    std::size_t calls = 0;
+    ProgressMeter meter(kTicks,
+                        [&](std::size_t done, std::size_t total) {
+                            // The meter serializes callbacks under its lock,
+                            // so unsynchronized writes here are safe.
+                            ++calls;
+                            if (done > observed_max) observed_max = done;
+                            EXPECT_EQ(total, kTicks);
+                        });
+    ThreadPool pool(4);
+    pool.parallel_for(0, kTicks, [&meter](std::size_t) { meter.tick(); });
+    EXPECT_EQ(calls, kTicks);
+    EXPECT_EQ(observed_max, kTicks);
+}
+
+}  // namespace
+}  // namespace vnfr::common

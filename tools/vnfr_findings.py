@@ -1,0 +1,192 @@
+"""Shared finding schema for the repo's static-analysis tools.
+
+Both analyzers (``vnfr_lint.py``, the pattern lint, and ``vnfr_asa.py``,
+the AST/token analyzer) emit findings through this module so their
+output is interchangeable for CI tooling:
+
+  plain mode   one grep-friendly line per finding:
+                   path:line: rule: message
+  ``--json``   a single JSON object:
+                   {"tool": ..., "mode": ..., "rules": {id: description},
+                    "findings": [{"path", "line", "rule", "message"}],
+                    "count": N}
+
+Suppressions share one grammar across tools::
+
+    // <tool>: allow(<rule>) <justification>
+
+where ``<tool>`` is ``vnfr-lint`` or ``vnfr-asa`` and the justification
+is REQUIRED: at least :data:`MIN_JUSTIFICATION` characters explaining why
+the finding is a false positive or deliberately accepted. A suppression
+covers its own line and the line directly below it (comment-above
+style). A suppression with a missing/short justification, or naming a
+rule the tool does not register, is itself reported under the
+``suppression-format`` rule — so stale or lazy suppressions fail the
+lint instead of rotting silently.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from dataclasses import dataclass
+
+#: Minimum characters of justification text required after ``allow(...)``.
+MIN_JUSTIFICATION = 8
+
+#: Rule id under which malformed suppressions are reported (registered by
+#: every tool that consumes this module).
+SUPPRESSION_RULE = "suppression-format"
+SUPPRESSION_RULE_DOC = (
+    "every '<tool>: allow(<rule>)' suppression must name a registered rule "
+    f"and carry a justification of at least {MIN_JUSTIFICATION} characters"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    path: str  # repo-relative POSIX path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def as_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def emit(
+    findings: list[Finding],
+    *,
+    tool: str,
+    rules: dict[str, str],
+    json_mode: bool,
+    mode: str | None = None,
+    stream=sys.stdout,
+) -> int:
+    """Prints findings in the selected format and returns the exit code
+    (0 clean, 1 findings)."""
+    ordered = sorted(findings)
+    if json_mode:
+        payload = {
+            "tool": tool,
+            "mode": mode or "pattern",
+            "rules": rules,
+            "findings": [f.as_json() for f in ordered],
+            "count": len(ordered),
+        }
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    else:
+        for f in ordered:
+            print(f.text(), file=stream)
+        if ordered:
+            print(f"{tool}: {len(ordered)} finding(s)", file=sys.stderr)
+        else:
+            print(f"{tool}: clean", file=stream)
+    return 1 if ordered else 0
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals so
+    pattern rules do not fire inside prose or formatted messages."""
+    out: list[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _suppress_re(tool: str) -> re.Pattern[str]:
+    return re.compile(rf"//\s*{re.escape(tool)}:\s*allow\(([^)]*)\)(.*)$")
+
+
+def scan_suppressions(
+    raw_lines: list[str], *, tool: str, rel: str, known_rules: set[str]
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Parses ``// <tool>: allow(rule[, rule]) justification`` comments.
+
+    Returns ``(covered, findings)`` where ``covered`` maps 1-based line
+    numbers to the set of rule ids suppressed on that line (a suppression
+    covers its own line and the next), and ``findings`` holds
+    ``suppression-format`` violations for unjustified or unknown-rule
+    suppressions.
+    """
+    pattern = _suppress_re(tool)
+    covered: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    for idx, raw in enumerate(raw_lines):
+        m = pattern.search(raw)
+        if m is None:
+            continue
+        lineno = idx + 1
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        justification = m.group(2).strip().lstrip(":-").strip()
+        # Fixture sources append '// expect: <rule>' markers after the
+        # suppression; marker text is metadata, not justification.
+        justification = re.split(r"//\s*expect:", justification)[0].strip()
+        if not rules:
+            findings.append(
+                Finding(rel, lineno, SUPPRESSION_RULE,
+                        "allow() names no rule")
+            )
+            continue
+        unknown = sorted(rules - known_rules)
+        if unknown:
+            findings.append(
+                Finding(
+                    rel, lineno, SUPPRESSION_RULE,
+                    f"allow() names unregistered rule(s): {', '.join(unknown)}",
+                )
+            )
+            continue
+        if len(justification) < MIN_JUSTIFICATION:
+            findings.append(
+                Finding(
+                    rel, lineno, SUPPRESSION_RULE,
+                    f"suppression of {', '.join(sorted(rules))} lacks a "
+                    f"justification (>= {MIN_JUSTIFICATION} chars after the "
+                    "closing paren)",
+                )
+            )
+            continue
+        for covered_line in (lineno, lineno + 1):
+            covered.setdefault(covered_line, set()).update(rules)
+    return covered, findings
+
+
+def apply_suppressions(
+    findings: list[Finding], covered: dict[int, set[str]]
+) -> list[Finding]:
+    """Drops findings whose (line, rule) is covered by a suppression.
+    ``suppression-format`` findings are never suppressible."""
+    out = []
+    for f in findings:
+        if f.rule != SUPPRESSION_RULE and f.rule in covered.get(f.line, set()):
+            continue
+        out.append(f)
+    return out

@@ -9,7 +9,7 @@ arithmetic in this codebase:
                 availability products; use ``common::almost_equal`` (or
                 restructure). Deliberate exact tests (sparsity checks on
                 literally-zeroed coefficients, rejection-sampling loops)
-                carry a ``// vnfr-lint: allow(float-eq)`` suppression.
+                carry a ``// vnfr-lint: allow(float-eq) <why>`` suppression.
 
   math-domain   ``std::log``/``std::log2``/``std::log10``/``std::pow``
                 outside ``src/vnf/reliability.*`` and ``src/common/math.*``
@@ -21,21 +21,49 @@ arithmetic in this codebase:
   header-guard  Every header under src/ starts with ``#pragma once``.
 
   namespace     Every src/ file declares ``namespace vnfr...`` and closes
-                it with a ``}  // namespace`` trailer comment.
+                it with a ``}  // namespace`` trailer comment. Pure
+                preprocessor headers (every non-blank line starts with
+                ``#`` — e.g. src/common/annotations.hpp, which must stay
+                macro-only so SWIG/non-Clang builds see no tokens) are
+                exempt: they define no entities to scope.
 
   using-std     ``using namespace std;`` is banned everywhere under src/.
 
+Suppression: ``// vnfr-lint: allow(<rule>) <justification>`` on the
+finding's line or the line above; the justification is required (see
+tools/vnfr_findings.py for the shared grammar and the
+``suppression-format`` rule that polices it).
+
 Exit status: 0 when clean, 1 with findings (one per line, grep-friendly
-``path:line: rule: message``). Run directly or via the ``vnfr_lint`` ctest.
+``path:line: rule: message``; ``--json`` for a machine-readable object).
+Run directly or via the ``vnfr_lint`` ctest.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
 
-SUPPRESS_TAG = "vnfr-lint: allow(float-eq)"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import vnfr_findings as vf  # noqa: E402
+from vnfr_findings import Finding, strip_comments_and_strings  # noqa: E402
+
+TOOL = "vnfr-lint"
+
+RULES: dict[str, str] = {
+    "float-eq": "raw ==/!= between doubles; use common::almost_equal",
+    "math-domain": "std::log/log2/log10/pow without a VNFR_CHECK/VNFR_DCHECK "
+                   "guarding the operand's domain nearby",
+    "header-guard": "every header under src/ starts with '#pragma once'",
+    "namespace": "every src/ file opens 'namespace vnfr...' and closes it "
+                 "with a '}  // namespace' trailer (pure preprocessor "
+                 "headers exempt)",
+    "using-std": "'using namespace std;' is banned under src/",
+    vf.SUPPRESSION_RULE: vf.SUPPRESSION_RULE_DOC,
+}
 
 # Files where the log/pow domain is the module's own concern: the stable
 # wrappers themselves.
@@ -55,47 +83,41 @@ DOUBLE_DECL = re.compile(r"\bdouble\s+(\w+)\s*(?:=|;|,|\)|\{)")
 GUARD_WINDOW = 4  # lines above a raw math call searched for a VNFR_CHECK
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Removes // comments and the contents of string/char literals so the
-    pattern rules do not fire inside prose or formatted messages."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and line[i] != quote:
-                if line[i] == "\\":
-                    i += 1
-                i += 1
-            out.append(quote)
-            i += 1
+def is_pure_preprocessor(code_lines: list[str]) -> bool:
+    """True when every non-blank stripped line is a preprocessor directive
+    or a continuation of one — a macro-only header with no entities."""
+    continuation = False
+    saw_directive = False
+    for code in code_lines:
+        stripped = code.strip()
+        if not stripped:
+            continuation = False
             continue
-        out.append(c)
-        i += 1
-    return "".join(out)
+        if not continuation and not stripped.startswith("#"):
+            return False
+        saw_directive = True
+        continuation = stripped.endswith("\\")
+    return saw_directive
 
 
-def lint_file(path: Path, rel: str) -> list[str]:
-    findings: list[str] = []
+def lint_file(path: Path, rel: str) -> list[Finding]:
+    findings: list[Finding] = []
     text = path.read_text(encoding="utf-8")
     raw_lines = text.splitlines()
     code_lines = [strip_comments_and_strings(l) for l in raw_lines]
 
     # --- header-guard / namespace conventions -------------------------------
     if rel.endswith(".hpp") and "#pragma once" not in text:
-        findings.append(f"{rel}:1: header-guard: header lacks '#pragma once'")
-    if not re.search(r"\bnamespace\s+vnfr\b", text):
-        findings.append(f"{rel}:1: namespace: file does not open 'namespace vnfr...'")
-    elif not re.search(r"\}\s*//\s*namespace", text):
-        findings.append(
-            f"{rel}:1: namespace: closing brace lacks '}}  // namespace' comment"
-        )
+        findings.append(Finding(rel, 1, "header-guard",
+                                "header lacks '#pragma once'"))
+    if not is_pure_preprocessor(code_lines):
+        if not re.search(r"\bnamespace\s+vnfr\b", text):
+            findings.append(Finding(rel, 1, "namespace",
+                                    "file does not open 'namespace vnfr...'"))
+        elif not re.search(r"\}\s*//\s*namespace", text):
+            findings.append(Finding(
+                rel, 1, "namespace",
+                "closing brace lacks '}  // namespace' comment"))
 
     # Identifiers declared double in this file, for the identifier-vs-
     # identifier comparison heuristic.
@@ -107,24 +129,22 @@ def lint_file(path: Path, rel: str) -> list[str]:
 
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
-        raw = raw_lines[idx]
-        prev_raw = raw_lines[idx - 1] if idx > 0 else ""
 
         # --- using-std ------------------------------------------------------
         if re.search(r"\busing\s+namespace\s+std\b", code):
-            findings.append(f"{rel}:{lineno}: using-std: 'using namespace std' is banned")
+            findings.append(Finding(rel, lineno, "using-std",
+                                    "'using namespace std' is banned"))
 
         # --- float-eq -------------------------------------------------------
-        suppressed = SUPPRESS_TAG in raw or SUPPRESS_TAG in prev_raw
         hit = FLOAT_LITERAL_CMP.search(code)
         if not hit and ident_cmp is not None:
             hit = ident_cmp.search(code)
-        if hit and not suppressed:
-            findings.append(
-                f"{rel}:{lineno}: float-eq: raw ==/!= on double "
-                f"('{hit.group(0).strip()}'); use common::almost_equal or add "
-                f"'// {SUPPRESS_TAG}' with a justification"
-            )
+        if hit:
+            findings.append(Finding(
+                rel, lineno, "float-eq",
+                f"raw ==/!= on double ('{hit.group(0).strip()}'); use "
+                "common::almost_equal or add "
+                "'// vnfr-lint: allow(float-eq) <why>'"))
 
         # --- math-domain ----------------------------------------------------
         if rel.startswith(MATH_DOMAIN_EXEMPT):
@@ -132,37 +152,44 @@ def lint_file(path: Path, rel: str) -> list[str]:
         call = RAW_MATH_CALL.search(code)
         if call:
             window_start = max(0, idx - GUARD_WINDOW)
-            window = "\n".join(raw_lines[window_start : idx + 1])
+            window = "\n".join(raw_lines[window_start: idx + 1])
             if "VNFR_CHECK" not in window and "VNFR_DCHECK" not in window:
-                findings.append(
-                    f"{rel}:{lineno}: math-domain: std::{call.group(1)} without a "
-                    f"VNFR_CHECK/VNFR_DCHECK guarding the operand within the "
-                    f"previous {GUARD_WINDOW} lines"
-                )
-    return findings
+                findings.append(Finding(
+                    rel, lineno, "math-domain",
+                    f"std::{call.group(1)} without a VNFR_CHECK/VNFR_DCHECK "
+                    f"guarding the operand within the previous "
+                    f"{GUARD_WINDOW} lines"))
+
+    covered, suppression_findings = vf.scan_suppressions(
+        raw_lines, tool=TOOL, rel=rel, known_rules=set(RULES))
+    return vf.apply_suppressions(findings, covered) + suppression_findings
 
 
 def main(argv: list[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(
+        prog="vnfr_lint.py",
+        description="repo-specific invariant lint over src/")
+    parser.add_argument("root", nargs="?", default=None,
+                        help="repo root (default: the checkout this tool is in)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON object")
+    args = parser.parse_args(argv[1:])
+
+    root = (Path(args.root).resolve() if args.root
+            else Path(__file__).resolve().parent.parent)
     src = root / "src"
     if not src.is_dir():
         print(f"vnfr_lint: no src/ directory under {root}", file=sys.stderr)
         return 2
 
-    findings: list[str] = []
+    findings: list[Finding] = []
     for path in sorted(src.rglob("*")):
         if path.suffix not in (".hpp", ".cpp"):
             continue
         rel = path.relative_to(root).as_posix()
         findings.extend(lint_file(path, rel))
-
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"vnfr_lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print("vnfr_lint: clean")
-    return 0
+    return vf.emit(findings, tool="vnfr_lint", rules=RULES,
+                   json_mode=args.json)
 
 
 if __name__ == "__main__":
