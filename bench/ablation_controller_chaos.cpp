@@ -1,17 +1,21 @@
 // Controller chaos ablation: crash-restart equivalence of the serve
-// layer's admission controller under both backup schemes.
+// layer's admission controller under both backup schemes, across a
+// matrix of concurrency configurations.
 //
-// One paper-environment trace per scheme is first served uninterrupted
-// (the baseline), then re-served dozens of times with the controller
-// killed at a randomized WAL-append point — half the trials additionally
-// tear the WAL tail — and restarted from its snapshot + WAL. Emits
-// BENCH_controller_chaos.json and exits nonzero when any acceptance gate
-// fails:
+// For each scheme and each (decide_threads, decide_shards, group_commit)
+// configuration, one paper-environment trace is first served
+// uninterrupted (the baseline), then re-served dozens of times with the
+// controller killed at a randomized WAL-append point — half the trials
+// additionally tear the WAL tail — and restarted from its snapshot +
+// WAL. Emits BENCH_controller_chaos.json and exits nonzero when any
+// acceptance gate fails:
 //
 //   * every kill trial recovers to a bit-identical state digest, equal
 //     revenue bits, the same admitted set (no double-admits), and zero
 //     capacity violations under core::verify_schedule;
-//   * reopening the baseline's own checkpoint reproduces its digest.
+//   * reopening the baseline's own checkpoint reproduces its digest;
+//   * all configurations of a scheme agree on the baseline digest —
+//     group commit and wave-parallel decide must not change decisions.
 //
 // Usage: ablation_controller_chaos [output.json]
 //   VNFR_BENCH_QUICK=1  shrink the trace and trial counts for smoke/CI
@@ -35,11 +39,32 @@ const char* scheme_name(core::Scheme scheme) {
     return scheme == core::Scheme::kOnsite ? "onsite" : "offsite";
 }
 
-struct SchemeResult {
+/// The concurrency matrix the acceptance gate sweeps: the sequential
+/// per-record-fdatasync controller, a modestly parallel one, and a
+/// fully batched/sharded one.
+struct MatrixConfig {
+    std::size_t threads;
+    std::size_t shards;
+    std::size_t group_commit;
+};
+
+constexpr MatrixConfig kMatrix[] = {
+    {1, 1, 1},
+    {2, 4, 4},
+    {8, 8, 32},
+};
+
+struct ConfigResult {
     core::Scheme scheme{core::Scheme::kOnsite};
+    MatrixConfig config{1, 1, 1};
     serve::ChaosStudyResult study;
     double seconds{0};
 };
+
+std::string config_tag(const MatrixConfig& c) {
+    return std::to_string(c.threads) + "t_" + std::to_string(c.shards) + "s_g" +
+           std::to_string(c.group_commit);
+}
 
 }  // namespace
 
@@ -48,7 +73,7 @@ int main(int argc, char** argv) {
         argc > 1 ? argv[1] : std::string("BENCH_controller_chaos.json");
 
     const std::size_t requests = bench::quick_mode() ? 100 : 240;
-    const std::size_t kills_per_scheme = bench::quick_mode() ? 5 : 25;
+    const std::size_t kills_per_config = bench::quick_mode() ? 4 : 12;
     const std::uint64_t master = bench::scenario_seed("controller_chaos", requests);
 
     std::cout << "== Controller chaos ablation: kill/restart equivalence ==\n";
@@ -59,50 +84,75 @@ int main(int argc, char** argv) {
         bench::make_factory(bench::paper_environment(requests))(rng);
     std::cout << "instance: " << instance.requests.size() << " requests, "
               << instance.network.cloudlet_count() << " cloudlets, horizon "
-              << instance.horizon << "; " << kills_per_scheme
-              << " kill points per scheme\n\n";
+              << instance.horizon << "; " << kills_per_config
+              << " kill points per (scheme, threads, shards, group) cell\n\n";
 
     const std::string work_root = "controller_chaos_state";
     ::mkdir(work_root.c_str(), 0755);  // studies manage their own subdirs
 
-    std::vector<SchemeResult> results;
+    std::vector<ConfigResult> results;
     bool all_ok = true;
+    bool digests_consistent = true;
     for (const core::Scheme scheme : {core::Scheme::kOnsite, core::Scheme::kOffsite}) {
-        serve::ChaosStudyConfig cfg;
-        cfg.scheme = scheme;
-        cfg.master_seed = common::stream_seed(master, 1 + static_cast<std::uint64_t>(scheme));
-        cfg.kill_points = kills_per_scheme;
-        cfg.checkpoint_every = 16;
-        cfg.queue_capacity = 8;
-        cfg.torn_tails = true;
-        cfg.work_dir = work_root + "/" + scheme_name(scheme);
+        std::uint64_t scheme_digest = 0;
+        bool scheme_digest_set = false;
+        for (const MatrixConfig& mc : kMatrix) {
+            serve::ChaosStudyConfig cfg;
+            cfg.scheme = scheme;
+            // Same kill-point stream for every cell of a scheme: the
+            // matrix varies the concurrency config, not the crashes.
+            cfg.master_seed =
+                common::stream_seed(master, 1 + static_cast<std::uint64_t>(scheme));
+            cfg.kill_points = kills_per_config;
+            cfg.checkpoint_every = 16;
+            cfg.queue_capacity = 8;
+            cfg.group_commit = mc.group_commit;
+            cfg.decide_shards = mc.shards;
+            cfg.decide_threads = mc.threads;
+            cfg.torn_tails = true;
+            cfg.work_dir =
+                work_root + "/" + scheme_name(scheme) + "_" + config_tag(mc);
 
-        SchemeResult r;
-        r.scheme = scheme;
-        const auto start = std::chrono::steady_clock::now();
-        r.study = serve::run_chaos_study(instance, cfg);
-        r.seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                .count();
+            ConfigResult r;
+            r.scheme = scheme;
+            r.config = mc;
+            const auto start = std::chrono::steady_clock::now();
+            r.study = serve::run_chaos_study(instance, cfg);
+            r.seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count();
 
-        std::size_t torn = 0;
-        for (const serve::ChaosTrial& t : r.study.trials) {
-            if (t.torn_tail_applied) ++torn;
+            std::size_t torn = 0;
+            for (const serve::ChaosTrial& t : r.study.trials) {
+                if (t.torn_tail_applied) ++torn;
+            }
+            std::cout << scheme_name(scheme) << " [" << config_tag(mc)
+                      << "]: baseline revenue " << r.study.baseline_metrics.revenue
+                      << " (admitted " << r.study.baseline_metrics.admitted
+                      << ", shed " << r.study.baseline_metrics.shed << "), digest "
+                      << report::hex_u64(r.study.baseline_digest) << "\n  "
+                      << r.study.trials.size() << " kill trials (" << torn
+                      << " with torn WAL tails), " << r.study.failed_trials
+                      << " failed, reload-ok "
+                      << (r.study.baseline_reload_ok ? "yes" : "no") << ", "
+                      << report::format_double(r.seconds, 2) << "s\n";
+            if (!r.study.ok()) {
+                std::cout << "  GATE FAILED for " << scheme_name(scheme) << " ["
+                          << config_tag(mc) << "]\n";
+                all_ok = false;
+            }
+            if (!scheme_digest_set) {
+                scheme_digest = r.study.baseline_digest;
+                scheme_digest_set = true;
+            } else if (r.study.baseline_digest != scheme_digest) {
+                std::cout << "  GATE FAILED: " << scheme_name(scheme) << " ["
+                          << config_tag(mc)
+                          << "] baseline digest differs from the sequential config\n";
+                digests_consistent = false;
+                all_ok = false;
+            }
+            results.push_back(std::move(r));
         }
-        std::cout << scheme_name(scheme) << ": baseline revenue "
-                  << r.study.baseline_metrics.revenue << " (admitted "
-                  << r.study.baseline_metrics.admitted << ", shed "
-                  << r.study.baseline_metrics.shed << "), digest "
-                  << report::hex_u64(r.study.baseline_digest) << "\n  "
-                  << r.study.trials.size() << " kill trials (" << torn
-                  << " with torn WAL tails), " << r.study.failed_trials
-                  << " failed, reload-ok " << (r.study.baseline_reload_ok ? "yes" : "no")
-                  << ", " << report::format_double(r.seconds, 2) << "s\n";
-        if (!r.study.ok()) {
-            std::cout << "  GATE FAILED for " << scheme_name(scheme) << "\n";
-            all_ok = false;
-        }
-        results.push_back(std::move(r));
     }
     std::cout << '\n';
 
@@ -111,10 +161,13 @@ int main(int argc, char** argv) {
     doc.set("quick", bench::quick_mode());
     doc.set("requests", static_cast<std::uint64_t>(requests));
     doc.set("master_seed", report::hex_u64(master));
-    report::JsonValue schemes = report::JsonValue::array();
-    for (const SchemeResult& r : results) {
+    report::JsonValue configs = report::JsonValue::array();
+    for (const ConfigResult& r : results) {
         report::JsonValue row = report::JsonValue::object();
         row.set("scheme", scheme_name(r.scheme));
+        row.set("decide_threads", static_cast<std::uint64_t>(r.config.threads));
+        row.set("decide_shards", static_cast<std::uint64_t>(r.config.shards));
+        row.set("group_commit", static_cast<std::uint64_t>(r.config.group_commit));
         row.set("baseline_digest", report::hex_u64(r.study.baseline_digest));
         row.set("baseline_revenue", r.study.baseline_metrics.revenue);
         row.set("baseline_admitted", r.study.baseline_metrics.admitted);
@@ -130,6 +183,7 @@ int main(int argc, char** argv) {
         for (const serve::ChaosTrial& t : r.study.trials) {
             report::JsonValue tr = report::JsonValue::object();
             tr.set("kill_after_records", t.kill_after_records);
+            tr.set("mid_batch", t.mid_batch);
             tr.set("torn_tail", t.torn_tail_applied);
             tr.set("truncated_bytes", t.truncated_bytes);
             tr.set("digest_match", t.digest_match);
@@ -140,9 +194,10 @@ int main(int argc, char** argv) {
             trials.push(std::move(tr));
         }
         row.set("trials", std::move(trials));
-        schemes.push(std::move(row));
+        configs.push(std::move(row));
     }
-    doc.set("schemes", std::move(schemes));
+    doc.set("configs", std::move(configs));
+    doc.set("digests_consistent", digests_consistent);
     doc.set("all_gates_passed", all_ok);
 
     std::ofstream out(out_path);
@@ -153,6 +208,7 @@ int main(int argc, char** argv) {
         std::cerr << "FAIL: chaos recovery gates failed\n";
         return 1;
     }
-    std::cout << "PASS: all kill trials recovered bit-identically\n";
+    std::cout << "PASS: all kill trials recovered bit-identically across the "
+                 "concurrency matrix\n";
     return 0;
 }

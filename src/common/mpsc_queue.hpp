@@ -1,0 +1,100 @@
+// Bounded multi-producer single-consumer queue on the annotated
+// synchronization primitives (common/mutex.hpp).
+//
+// Producers call try_push(), which never blocks: a full or closed queue
+// is reported back so the caller can apply its own policy (retry,
+// backpressure, or shed). The single consumer calls pop() with a timeout,
+// which doubles as the flush heartbeat of batch consumers — a consumer
+// that wants to group work can treat kTimeout as "no new input within the
+// batching window, flush what you have".
+//
+// close() is the shutdown handshake: producers see kClosed from then on,
+// and the consumer keeps draining until the queue is empty before pop()
+// reports kClosed, so no accepted item is ever dropped.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace vnfr::common {
+
+enum class MpscPushResult {
+    kPushed,  ///< accepted
+    kFull,    ///< at capacity — caller decides: retry, backpressure, shed
+    kClosed,  ///< close() was called; no further pushes will ever succeed
+};
+
+enum class MpscPopResult {
+    kItem,     ///< an item was dequeued into `out`
+    kTimeout,  ///< nothing arrived within the timeout (queue still open)
+    kClosed,   ///< queue closed *and* fully drained
+};
+
+template <typename T>
+class MpscQueue {
+  public:
+    explicit MpscQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    MpscQueue(const MpscQueue&) = delete;
+    MpscQueue& operator=(const MpscQueue&) = delete;
+
+    /// Non-blocking enqueue; safe from any number of producer threads.
+    MpscPushResult try_push(T value) VNFR_EXCLUDES(queue_mu_) {
+        bool pushed = false;
+        {
+            const MutexLock lock(&queue_mu_);
+            if (closed_) return MpscPushResult::kClosed;
+            if (items_.size() >= capacity_) return MpscPushResult::kFull;
+            items_.push_back(std::move(value));
+            pushed = true;
+        }
+        if (pushed) ready_.notify_one();
+        return MpscPushResult::kPushed;
+    }
+
+    /// Dequeues into `out`, waiting up to `timeout` for an item. Single
+    /// consumer only. A closed queue drains before reporting kClosed.
+    MpscPopResult pop(T& out, std::chrono::nanoseconds timeout)
+        VNFR_EXCLUDES(queue_mu_) {
+        const MutexLock lock(&queue_mu_);
+        while (items_.empty()) {
+            if (closed_) return MpscPopResult::kClosed;
+            if (!ready_.wait_for(queue_mu_, timeout) && items_.empty()) {
+                // Timed out; closed_ may have flipped while waiting.
+                return closed_ ? MpscPopResult::kClosed : MpscPopResult::kTimeout;
+            }
+        }
+        out = std::move(items_.front());
+        items_.pop_front();
+        return MpscPopResult::kItem;
+    }
+
+    /// Irreversibly stops accepting pushes and wakes the consumer.
+    void close() VNFR_EXCLUDES(queue_mu_) {
+        {
+            const MutexLock lock(&queue_mu_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const VNFR_EXCLUDES(queue_mu_) {
+        const MutexLock lock(&queue_mu_);
+        return items_.size();
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable Mutex queue_mu_;
+    CondVar ready_;
+    std::deque<T> items_ VNFR_GUARDED_BY(queue_mu_);
+    bool closed_ VNFR_GUARDED_BY(queue_mu_) = false;
+};
+
+}  // namespace vnfr::common

@@ -141,7 +141,7 @@ Decision OnsitePrimalDual::decide(const workload::Request& request) {
 
     // Admission test (line 8): pay_i must exceed the cheapest dual price.
     if (!best.valid() || request.payment - best_price <= 0.0) {
-        deltas_.push_back(0.0);
+        if (config_.track_deltas) deltas_.push_back(0.0);
         Decision rejected;
         if (!any_reliable) {
             rejected.reject_reason = RejectReason::kInfeasibleRequirement;
@@ -157,7 +157,7 @@ Decision OnsitePrimalDual::decide(const workload::Request& request) {
     ledger_.reserve(best, request.arrival, request.end(), demand);
     VNFR_CHECK(request.payment - best_price > 0.0,
                "admitted request must have positive primal increment (Eq. 33)");
-    deltas_.push_back(request.payment - best_price);  // Eq. 33
+    if (config_.track_deltas) deltas_.push_back(request.payment - best_price);  // Eq. 33
 
     // Dual update (Eq. 34) on the chosen cloudlet's window, against the
     // (possibly scaled) capacity.

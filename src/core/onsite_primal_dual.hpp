@@ -45,6 +45,13 @@ struct OnsitePrimalDualConfig {
     /// catalog and cloudlet reliabilities. Ignored by the pure variant,
     /// which must follow Eq. 34 exactly for Theorem 1 to apply.
     double dual_capacity_scale{0.0};
+    /// Record delta_i per decide() into deltas(). The per-request deltas
+    /// only feed competitive-ratio analysis; a long-running server (or a
+    /// caller that decides window-disjoint requests concurrently — the
+    /// serve layer's wave-parallel pipeline) turns it off: the vector
+    /// grows without bound and is the one piece of decide() state shared
+    /// across otherwise-disjoint requests.
+    bool track_deltas{true};
 };
 
 class OnsitePrimalDual final : public OnlineScheduler {

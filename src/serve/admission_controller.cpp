@@ -4,6 +4,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
@@ -19,7 +21,13 @@ namespace {
 std::unique_ptr<core::OnlineScheduler> make_scheduler(const core::Instance& instance,
                                                       core::Scheme scheme) {
     if (scheme == core::Scheme::kOnsite) {
-        return std::make_unique<core::OnsitePrimalDual>(instance);
+        // Per-request delta tracking grows without bound over a server's
+        // lifetime, is never read by the serve layer, and is the one piece
+        // of decide() state shared across window-disjoint requests (it
+        // would race under the wave executor).
+        core::OnsitePrimalDualConfig scheduler_config;
+        scheduler_config.track_deltas = false;
+        return std::make_unique<core::OnsitePrimalDual>(instance, scheduler_config);
     }
     return std::make_unique<core::OffsitePrimalDual>(instance);
 }
@@ -62,7 +70,21 @@ AdmissionController::AdmissionController(const core::Instance& instance,
     if (config_.queue_capacity == 0) {
         throw std::invalid_argument("AdmissionController: queue_capacity must be >= 1");
     }
+    if (config_.group_commit == 0) {
+        throw std::invalid_argument("AdmissionController: group_commit must be >= 1");
+    }
+    if (config_.decide_shards == 0) {
+        throw std::invalid_argument("AdmissionController: decide_shards must be >= 1");
+    }
+    if (config_.decide_threads == 0) {
+        throw std::invalid_argument("AdmissionController: decide_threads must be >= 1");
+    }
     config_digest_ = instance_config_digest(instance_, scheme_);
+    plan_.emplace(config_.decide_shards, instance_.horizon);
+    shards_ = std::make_unique<Shard[]>(plan_->shard_count());
+    if (plan_->shard_count() > 1 && config_.decide_threads > 1) {
+        pool_ = std::make_unique<common::ThreadPool>(config_.decide_threads);
+    }
     // No other thread can see a partially-constructed controller, but the
     // recovery helpers require mu_, so hold it for the uncontended setup.
     const common::MutexLock lock(&mu_);
@@ -207,6 +229,24 @@ void AdmissionController::append_wal(const WalRecord& rec) {
     }
 }
 
+void AdmissionController::stage_wal(const WalRecord& rec) {
+    wal_->stage(rec);
+    ++wal_records_;
+    ++appends_this_run_;
+    // Commit exactly at group boundaries, *before* the crash hook fires,
+    // so an injected crash sees the durability a real one would: a
+    // countdown landing on a boundary dies with the whole group on disk;
+    // anywhere else it dies with the staged suffix never externalized.
+    if (wal_->staged_records() >= config_.group_commit) {
+        wal_->commit();
+    }
+    if (crash_countdown_ > 0 && --crash_countdown_ == 0) {
+        throw CrashInjected(appends_this_run_);
+    }
+}
+
+void AdmissionController::commit_wal() { wal_->commit(); }
+
 void AdmissionController::apply_decision(std::uint64_t seq,
                                          const workload::Request& request,
                                          const core::Decision& decision) {
@@ -247,34 +287,36 @@ SubmitResult AdmissionController::submit(std::uint64_t seq,
     if (is_covered_locked(seq)) return SubmitResult::kAlreadyCovered;
     // Uncovered submissions must arrive in stream order — FIFO processing
     // equals seq order, which the recovery protocol relies on.
-    VNFR_CHECK(queue_.empty() || seq > queue_.back().seq,
+    VNFR_CHECK(queue_.empty() || seq > queue_.rbegin()->first,
                "submit seq ", seq, " out of stream order (queue tail is ",
-               queue_.empty() ? 0 : queue_.back().seq, ")");
+               queue_.empty() ? 0 : queue_.rbegin()->first, ")");
     if (queue_.size() < config_.queue_capacity) {
-        queue_.push_back(QueueItem{seq, request});
+        queue_.emplace(seq, request);
+        shed_heap_.push(ShedCandidate{request.payment, seq});
         return SubmitResult::kQueued;
     }
     // Overload: shed the lowest payment among queued + incoming; on a
-    // payment tie the younger request (higher seq) loses.
-    auto victim_it = queue_.end();
-    double victim_pay = request.payment;
-    std::uint64_t victim_seq = seq;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->request.payment < victim_pay ||
-            (it->request.payment == victim_pay && it->seq > victim_seq)) {
-            victim_it = it;
-            victim_pay = it->request.payment;
-            victim_seq = it->seq;
-        }
+    // payment tie the younger request (higher seq) loses. After skipping
+    // stale entries the heap top is exactly the queued side of that
+    // arg-min, making the victim choice O(log n) instead of a scan.
+    while (!shed_heap_.empty() && queue_.find(shed_heap_.top().seq) == queue_.end()) {
+        shed_heap_.pop();
     }
-    if (victim_it == queue_.end()) {
+    VNFR_CHECK(!shed_heap_.empty(), "shed heap lost track of the live queue");
+    const ShedCandidate top = shed_heap_.top();
+    // The incoming request carries the highest seq, so on a payment tie
+    // it is the one shed; a queued victim needs strictly lower payment.
+    if (!(top.payment < request.payment)) {
         shed(QueueItem{seq, request});
         return SubmitResult::kShedIncoming;
     }
-    const QueueItem victim = *victim_it;
-    shed(victim);  // durable first; memory mutations follow
+    const auto victim_it = queue_.find(top.seq);
+    VNFR_CHECK(victim_it != queue_.end(), "shed heap points at a dequeued seq");
+    shed(QueueItem{victim_it->first, victim_it->second});  // durable first
+    shed_heap_.pop();
     queue_.erase(victim_it);
-    queue_.push_back(QueueItem{seq, request});
+    queue_.emplace(seq, request);
+    shed_heap_.push(ShedCandidate{request.payment, seq});
     return SubmitResult::kShedQueued;
 }
 
@@ -283,27 +325,101 @@ std::vector<ProcessedOutcome> AdmissionController::pump(std::size_t max_requests
     return pump_locked(max_requests);
 }
 
+std::vector<core::Decision> AdmissionController::decide_batch(
+    const std::vector<workload::Request>& batch) {
+    std::vector<core::Decision> decisions(batch.size());
+    const bool parallel =
+        pool_ != nullptr && plan_->shard_count() > 1 && batch.size() > 1;
+    if (!parallel) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            decisions[i] = scheduler_->decide(batch[i]);
+        }
+        return decisions;
+    }
+    // Locals for the worker lambda: the workers run while this thread
+    // holds mu_, so the guarded state cannot move under them, but the
+    // static analysis cannot see that ownership transfer — the lambda must
+    // not name guarded members directly.
+    core::OnlineScheduler* const sched = scheduler_.get();
+    Shard* const shards = shards_.get();
+    const ShardPlan& plan = *plan_;
+    const std::vector<std::vector<std::size_t>> waves = build_waves(plan, batch);
+    for (const std::vector<std::size_t>& wave : waves) {
+        if (wave.size() == 1) {
+            const std::size_t i = wave.front();
+            decisions[i] = sched->decide(batch[i]);
+            continue;
+        }
+        pool_->parallel_for(0, wave.size(), [&](std::size_t k) {
+            const std::size_t i = wave[k];
+            // Band disjointness within the wave is what really guarantees
+            // exclusion; locking the request's first band turns that
+            // argument into a runtime-checked, TSan-visible fact.
+            const common::MutexLock shard_lock(
+                &shards[plan.bands(batch[i]).first].shard_mu);
+            decisions[i] = sched->decide(batch[i]);
+        });
+    }
+    return decisions;
+}
+
 std::vector<ProcessedOutcome> AdmissionController::pump_locked(
     std::size_t max_requests) {
     std::vector<ProcessedOutcome> outcomes;
     while (max_requests > 0 && !queue_.empty()) {
-        --max_requests;
-        const QueueItem item = queue_.front();
-        const core::Decision decision = scheduler_->decide(item.request);
-        WalRecord rec;
-        rec.kind = WalRecordKind::kDecision;
-        rec.seq = item.seq;
-        rec.request = item.request;
-        rec.admitted = decision.admitted;
-        rec.reject_reason = decision.reject_reason;
-        if (decision.admitted) rec.sites = decision.placement.sites;
-        append_wal(rec);
-        queue_.pop_front();
-        apply_decision(item.seq, item.request, decision);
-        outcomes.push_back(ProcessedOutcome{item.seq, item.request, decision});
+        const std::size_t take =
+            std::min({max_requests, queue_.size(), config_.group_commit});
+        std::vector<std::uint64_t> seqs;
+        std::vector<workload::Request> batch;
+        seqs.reserve(take);
+        batch.reserve(take);
+        {
+            auto it = queue_.begin();
+            for (std::size_t i = 0; i < take; ++i, ++it) {
+                seqs.push_back(it->first);
+                batch.push_back(it->second);
+            }
+        }
+        const std::vector<core::Decision> decisions = decide_batch(batch);
+        // Durable first: stage the whole group, fdatasync once.
+        for (std::size_t i = 0; i < take; ++i) {
+            WalRecord rec;
+            rec.kind = WalRecordKind::kDecision;
+            rec.seq = seqs[i];
+            rec.request = batch[i];
+            rec.admitted = decisions[i].admitted;
+            rec.reject_reason = decisions[i].reject_reason;
+            if (decisions[i].admitted) rec.sites = decisions[i].placement.sites;
+            stage_wal(rec);
+        }
+        commit_wal();
+        // Only now — with the group durable — do the outcomes become
+        // observable, in stream order.
+        queue_.erase(queue_.begin(), std::next(queue_.begin(),
+                                               static_cast<std::ptrdiff_t>(take)));
+        for (std::size_t i = 0; i < take; ++i) {
+            apply_decision(seqs[i], batch[i], decisions[i]);
+            outcomes.push_back(ProcessedOutcome{seqs[i], batch[i], decisions[i]});
+        }
+        prune_shed_heap();
+        max_requests -= take;
         if (wal_records_ >= config_.checkpoint_every) checkpoint_locked();
     }
     return outcomes;
+}
+
+void AdmissionController::prune_shed_heap() {
+    // Stale entries (pumped or evicted seqs) are skipped lazily at shed
+    // time; rebuild once they dominate so heap memory stays O(queue).
+    if (shed_heap_.size() <= 2 * queue_.size() + 64) return;
+    std::vector<ShedCandidate> live;
+    live.reserve(queue_.size());
+    for (const auto& [seq, request] : queue_) {
+        live.push_back(ShedCandidate{request.payment, seq});
+    }
+    shed_heap_ = std::priority_queue<ShedCandidate, std::vector<ShedCandidate>,
+                                     ShedVictimOrder>(ShedVictimOrder{},
+                                                      std::move(live));
 }
 
 std::vector<ProcessedOutcome> AdmissionController::drain() {
@@ -322,6 +438,8 @@ void AdmissionController::checkpoint() {
 }
 
 void AdmissionController::checkpoint_locked() {
+    VNFR_CHECK(wal_->staged_records() == 0,
+               "checkpoint with uncommitted staged WAL records");
     ControllerSnapshot snap;
     snap.scheme = static_cast<std::uint8_t>(scheme_);
     snap.config_digest = config_digest_;

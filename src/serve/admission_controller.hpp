@@ -22,31 +22,59 @@
 // Overload guard. The queue is bounded; when a submit overflows it, the
 // lowest-payment request among (queued + incoming) is shed — logged,
 // counted in shed_revenue, and reported to the caller. Ties prefer
-// keeping the older request.
+// keeping the older request. Victim selection is O(log n) via a
+// min-payment heap over the queued requests (lazily pruned), not a scan.
+//
+// Group commit. With group_commit > 1, pump() stages up to that many
+// decision records in memory and externalizes them with ONE write and
+// ONE fdatasync per group, amortizing the dominant durability cost.
+// Outcomes are applied (counters, admitted ledger, coverage — i.e. made
+// observable) only after their group's fdatasync returned, so the
+// durable-before-observable ordering is preserved; what group commit
+// adds is a crash window in which decided-but-uncommitted records
+// vanish wholesale (they were never externalized) and are simply
+// resubmitted after recovery. See DESIGN.md 6d for the window-by-window
+// argument. Submit-path shed records never batch: submit() reports the
+// shed synchronously, so its record is fdatasync'd before return.
+//
+// Sharded parallel decide. With decide_shards > 1 the horizon is
+// partitioned into slot bands (serve/shard_plan.hpp); each pump chunk is
+// decided as a sequence of waves of band-disjoint requests, each wave
+// run in parallel on an internal thread pool (decide_threads). Window-
+// disjoint decisions commute bit-exactly, so the result is identical to
+// sequential processing at every shard and thread count — the chaos
+// gate enforces this.
 //
 // Thread safety. All mutable state is guarded by one internal
 // common::Mutex (annotated for Clang thread-safety analysis): submit,
 // pump, drain, checkpoint, and every accessor may be called from any
 // thread. WAL appends and the checkpoint rotation happen while the lock
 // is held, so the durable-before-observable ordering is preserved under
-// concurrency. scheduler() returns a reference into guarded state — it
-// is safe only while no other thread is mutating the controller (use it
-// from quiesced test/report code, not concurrently with pump()).
+// concurrency. During a pump chunk the wave executor additionally takes
+// the owning shard's mutex around each decide; exclusion inside a wave
+// is guaranteed by the wave plan (disjoint bands), the per-shard lock
+// asserts it cheaply and keeps the lock discipline uniform. scheduler()
+// returns a reference into guarded state — it is safe only while no
+// other thread is mutating the controller (use it from quiesced
+// test/report code, not concurrently with pump()).
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/mutex.hpp"
+#include "common/thread_pool.hpp"
 #include "core/instance.hpp"
 #include "core/offline.hpp"
 #include "core/schedule.hpp"
+#include "serve/shard_plan.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/wal.hpp"
 
@@ -69,6 +97,19 @@ struct ServeConfig {
     /// Bounded admission queue size; submits beyond it shed the
     /// lowest-payment request.
     std::size_t queue_capacity{256};
+    /// Decision records per fdatasync in pump(): 1 reproduces the
+    /// per-record durability of the original controller; larger values
+    /// amortize one write + one fdatasync over up to this many records.
+    /// Never changes decisions or recovered state — only which crash
+    /// windows can lose (and therefore re-decide) a trailing group.
+    std::size_t group_commit{1};
+    /// Slot bands the horizon is partitioned into for wave-parallel
+    /// decide (1 = strictly sequential). Decisions are bit-identical at
+    /// every value; more shards only expose more parallelism.
+    std::size_t decide_shards{1};
+    /// Threads executing decision waves, including the pumping thread
+    /// (1 = no pool). Effective only with decide_shards > 1.
+    std::size_t decide_threads{1};
 };
 
 /// Outcome of submitting one request to the stream.
@@ -176,15 +217,50 @@ class AdmissionController {
         workload::Request request;
     };
 
+    /// Heap entry for O(log n) shed-victim selection. The heap orders by
+    /// (payment ascending, seq descending): the top is the queued request
+    /// the overload guard would evict first. Entries are not removed when
+    /// their request leaves the queue (pumped or evicted); stale entries
+    /// are skipped lazily and the heap is rebuilt when it grows well past
+    /// the live queue.
+    struct ShedCandidate {
+        double payment;
+        std::uint64_t seq;
+    };
+    struct ShedVictimOrder {
+        bool operator()(const ShedCandidate& a, const ShedCandidate& b) const {
+            // std::priority_queue keeps the comparator's maximum on top;
+            // "greater" here means "worthier victim".
+            if (a.payment != b.payment) return a.payment > b.payment;
+            return a.seq < b.seq;
+        }
+    };
+
+    /// One slot band of the wave executor. The mutex serializes decides
+    /// whose band ranges start in this band; see the file comment.
+    struct Shard {
+        common::Mutex shard_mu;
+    };
+
     void recover() VNFR_REQUIRES(mu_);
     void replay_record(const WalRecord& rec, const std::string& path)
         VNFR_REQUIRES(mu_);
     void mark_covered(std::uint64_t seq) VNFR_REQUIRES(mu_);
     [[nodiscard]] bool is_covered_locked(std::uint64_t seq) const VNFR_REQUIRES(mu_);
     void append_wal(const WalRecord& rec) VNFR_REQUIRES(mu_);
+    void stage_wal(const WalRecord& rec) VNFR_REQUIRES(mu_);
+    void commit_wal() VNFR_REQUIRES(mu_);
     void apply_decision(std::uint64_t seq, const workload::Request& request,
                         const core::Decision& decision) VNFR_REQUIRES(mu_);
     void shed(const QueueItem& victim) VNFR_REQUIRES(mu_);
+    /// Decides `batch` (stream order) and returns decisions in the same
+    /// order, bit-identical to a sequential loop; uses the wave executor
+    /// when sharding + a pool are configured.
+    std::vector<core::Decision> decide_batch(const std::vector<workload::Request>& batch)
+        VNFR_REQUIRES(mu_);
+    /// Drops stale heap entries once the heap is far larger than the live
+    /// queue (amortized O(1) per queue operation).
+    void prune_shed_heap() VNFR_REQUIRES(mu_);
     std::vector<ProcessedOutcome> pump_locked(std::size_t max_requests)
         VNFR_REQUIRES(mu_);
     void checkpoint_locked() VNFR_REQUIRES(mu_);
@@ -203,8 +279,19 @@ class AdmissionController {
     /// the recovery proof needs. mutable so const accessors can lock.
     mutable common::Mutex mu_;
 
+    /// Wave-executor infrastructure; immutable after construction. The
+    /// pool exists only when decide_shards > 1 and decide_threads > 1.
+    std::optional<ShardPlan> plan_;
+    std::unique_ptr<Shard[]> shards_;
+    std::unique_ptr<common::ThreadPool> pool_;
+
     std::unique_ptr<core::OnlineScheduler> scheduler_ VNFR_GUARDED_BY(mu_);
-    std::deque<QueueItem> queue_ VNFR_GUARDED_BY(mu_);
+    /// Admission queue keyed by stream seq — iteration order is FIFO
+    /// because seqs are submitted in increasing order.
+    std::map<std::uint64_t, workload::Request> queue_ VNFR_GUARDED_BY(mu_);
+    /// Lazy min-payment heap over queue_ for O(log n) shedding.
+    std::priority_queue<ShedCandidate, std::vector<ShedCandidate>, ShedVictimOrder>
+        shed_heap_ VNFR_GUARDED_BY(mu_);
     ServeMetrics metrics_ VNFR_GUARDED_BY(mu_);
     std::vector<AdmittedRecord> admitted_ VNFR_GUARDED_BY(mu_);
     std::uint64_t covered_watermark_ VNFR_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,165 @@
+#include "serve/admission_pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace vnfr::serve {
+
+ShardedAdmissionPipeline::ShardedAdmissionPipeline(AdmissionController& controller,
+                                                   PipelineConfig config)
+    : controller_(controller),
+      config_(config),
+      transport_(config.transport_capacity) {
+    if (config_.transport_capacity == 0) {
+        throw std::invalid_argument("pipeline: transport_capacity must be >= 1");
+    }
+    if (config_.max_batch == 0) {
+        throw std::invalid_argument("pipeline: max_batch must be >= 1");
+    }
+    if (config_.max_delay <= std::chrono::microseconds::zero()) {
+        throw std::invalid_argument("pipeline: max_delay must be positive");
+    }
+    consumer_ = std::thread([this] { run(); });
+}
+
+ShardedAdmissionPipeline::~ShardedAdmissionPipeline() {
+    try {
+        stop();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+        // Destructors must not throw; call stop() to observe errors.
+    }
+}
+
+common::MpscPushResult ShardedAdmissionPipeline::try_submit(
+    std::uint64_t seq, const workload::Request& request) {
+    const common::MpscPushResult result = transport_.try_push(Item{seq, request});
+    if (result == common::MpscPushResult::kPushed) {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result == common::MpscPushResult::kFull) {
+        transport_full_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+}
+
+bool ShardedAdmissionPipeline::submit(std::uint64_t seq,
+                                      const workload::Request& request) {
+    for (;;) {
+        switch (try_submit(seq, request)) {
+            case common::MpscPushResult::kPushed:
+                return true;
+            case common::MpscPushResult::kClosed:
+                return false;
+            case common::MpscPushResult::kFull:
+                std::this_thread::yield();
+                break;
+        }
+    }
+}
+
+void ShardedAdmissionPipeline::stop() {
+    stopping_.store(true, std::memory_order_relaxed);
+    transport_.close();
+    if (consumer_.joinable()) consumer_.join();
+    std::exception_ptr err;
+    {
+        const common::MutexLock lock(&stats_mu_);
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+}
+
+PipelineStats ShardedAdmissionPipeline::stats() const {
+    PipelineStats out;
+    {
+        const common::MutexLock lock(&stats_mu_);
+        out = stats_;
+    }
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.transport_full = transport_full_.load(std::memory_order_relaxed);
+    return out;
+}
+
+void ShardedAdmissionPipeline::pump_controller(bool timeout_triggered) {
+    // Pump whatever the controller queued; its own group_commit setting
+    // decides how many fdatasyncs that costs.
+    const std::size_t queued = controller_.queue_size();
+    if (queued == 0) return;
+    const std::size_t processed = controller_.pump(queued).size();
+    const common::MutexLock lock(&stats_mu_);
+    stats_.processed += processed;
+    if (timeout_triggered) {
+        stats_.timeout_flushes += 1;
+    } else {
+        stats_.batch_flushes += 1;
+    }
+}
+
+void ShardedAdmissionPipeline::run() {
+    try {
+        // Early arrivals parked until the stream is contiguous.
+        std::map<std::uint64_t, workload::Request> reorder;
+        std::uint64_t expected = config_.start_seq;
+        std::size_t since_pump = 0;
+
+        const auto feed_contiguous_run = [&] {
+            std::size_t fed = 0;
+            while (!reorder.empty() && reorder.begin()->first == expected) {
+                controller_.submit(expected, reorder.begin()->second);
+                reorder.erase(reorder.begin());
+                ++expected;
+                ++fed;
+            }
+            if (fed > 0) {
+                since_pump += fed;
+                const common::MutexLock lock(&stats_mu_);
+                stats_.submitted += fed;
+            }
+            return fed;
+        };
+
+        for (;;) {
+            Item item;
+            const common::MpscPopResult result = transport_.pop(item, config_.max_delay);
+            if (result == common::MpscPopResult::kItem) {
+                reorder.emplace(item.seq, item.request);
+                {
+                    const common::MutexLock lock(&stats_mu_);
+                    stats_.max_reorder_depth =
+                        std::max(stats_.max_reorder_depth, reorder.size());
+                }
+                feed_contiguous_run();
+                if (since_pump >= config_.max_batch) {
+                    pump_controller(/*timeout_triggered=*/false);
+                    since_pump = 0;
+                }
+            } else if (result == common::MpscPopResult::kTimeout) {
+                if (since_pump > 0 || controller_.queue_size() > 0) {
+                    pump_controller(/*timeout_triggered=*/true);
+                    since_pump = 0;
+                }
+            } else {  // kClosed: transport already drained
+                feed_contiguous_run();
+                if (!reorder.empty()) {
+                    throw std::logic_error(
+                        "pipeline stopped with a stream gap: waiting for seq " +
+                        std::to_string(expected) + " while " +
+                        std::to_string(reorder.size()) +
+                        " later submissions are parked");
+                }
+                const std::size_t processed = controller_.drain().size();
+                const common::MutexLock lock(&stats_mu_);
+                stats_.processed += processed;
+                return;
+            }
+        }
+    } catch (...) {
+        const common::MutexLock lock(&stats_mu_);
+        error_ = std::current_exception();
+    }
+}
+
+}  // namespace vnfr::serve

@@ -186,6 +186,9 @@ ChaosStudyResult run_chaos_study(const core::Instance& instance,
     ServeConfig serve;
     serve.checkpoint_every = config.checkpoint_every;
     serve.queue_capacity = config.queue_capacity;
+    serve.group_commit = config.group_commit;
+    serve.decide_shards = config.decide_shards;
+    serve.decide_threads = config.decide_threads;
 
     ChaosStudyResult result;
     result.scheme = config.scheme;
@@ -218,15 +221,26 @@ ChaosStudyResult run_chaos_study(const core::Instance& instance,
             reloaded.state_digest() == result.baseline_digest;
     }
 
-    // Kill trials.
+    // Kill trials. Exhaustive mode walks every crash point of the
+    // baseline run; sampled mode draws kill_points of them.
     const std::string trial_dir = config.work_dir + "/trial";
-    for (std::size_t trial = 0; trial < config.kill_points; ++trial) {
+    const std::size_t trial_count =
+        config.exhaustive_kill_points
+            ? static_cast<std::size_t>(
+                  std::max<std::uint64_t>(1, result.baseline_outcomes) - 1)
+            : config.kill_points;
+    for (std::size_t trial = 0; trial < trial_count; ++trial) {
         common::Rng rng = common::stream_rng(config.master_seed, 1000 + trial);
         ChaosTrial outcome;
         // Crash after 1 .. outcomes-1 WAL appends: always mid-trace.
-        outcome.kill_after_records = static_cast<std::uint64_t>(rng.uniform_int(
-            1, std::max<std::int64_t>(
-                   1, static_cast<std::int64_t>(result.baseline_outcomes) - 1)));
+        outcome.kill_after_records =
+            config.exhaustive_kill_points
+                ? static_cast<std::uint64_t>(trial + 1)
+                : static_cast<std::uint64_t>(rng.uniform_int(
+                      1, std::max<std::int64_t>(
+                             1, static_cast<std::int64_t>(result.baseline_outcomes) -
+                                    1)));
+        outcome.mid_batch = outcome.kill_after_records % config.group_commit != 0;
 
         fresh_state_dir(trial_dir);
         ServeConfig cfg = serve;

@@ -25,13 +25,25 @@ struct ChaosStudyConfig {
     std::uint64_t master_seed{0};
     /// Number of randomized kill-and-restart trials.
     std::size_t kill_points{25};
+    /// Instead of sampling `kill_points` random crash points, kill at
+    /// EVERY WAL append of the baseline run (1 .. outcomes-1). With
+    /// group_commit = B this sweeps every batch boundary (kill point
+    /// divisible by B) and every mid-batch position — the crash matrix.
+    bool exhaustive_kill_points{false};
     /// Controller snapshot cadence (WAL records between checkpoints).
     std::size_t checkpoint_every{16};
     /// Admission queue bound; the drive pattern overflows it on purpose
     /// so shedding is exercised across crashes.
     std::size_t queue_capacity{8};
+    /// Passed through to ServeConfig: WAL records per fdatasync in pump.
+    std::size_t group_commit{1};
+    /// Passed through to ServeConfig: slot bands for parallel decide.
+    std::size_t decide_shards{1};
+    /// Passed through to ServeConfig: wave-executor threads.
+    std::size_t decide_threads{1};
     /// Additionally truncate the WAL tail by a few bytes on every other
-    /// trial, simulating a torn final append.
+    /// trial, simulating a torn final append (with group commit the cut
+    /// can land inside a committed group — a torn group write).
     bool torn_tails{true};
     /// Scratch directory for controller state; the study creates and
     /// reuses `<work_dir>/baseline` and `<work_dir>/trial`.
@@ -41,6 +53,9 @@ struct ChaosStudyConfig {
 /// One kill-and-restart trial's outcome; `ok()` is the acceptance gate.
 struct ChaosTrial {
     std::uint64_t kill_after_records{0};  ///< crash after this many WAL appends
+    /// The kill point is NOT a group-commit boundary: the crash lands
+    /// with staged-but-unsynced records that die with the process.
+    bool mid_batch{false};
     bool crashed{false};                  ///< the injected crash actually fired
     bool torn_tail_applied{false};
     std::uint64_t truncated_bytes{0};

@@ -1,0 +1,63 @@
+#include "serve/shard_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace vnfr::serve {
+
+ShardPlan::ShardPlan(std::size_t shards, TimeSlot horizon) : horizon_(horizon) {
+    if (shards == 0) {
+        throw std::invalid_argument("ShardPlan: shards must be >= 1");
+    }
+    if (horizon <= 0) {
+        throw std::invalid_argument("ShardPlan: horizon must be positive");
+    }
+    // More bands than slots would leave some bands empty; clamping keeps
+    // band_of a surjection and the wave planner free of degenerate bands.
+    shards_ = std::min(shards, static_cast<std::size_t>(horizon));
+}
+
+std::size_t ShardPlan::band_of(TimeSlot t) const {
+    VNFR_DCHECK(t >= 0 && t < horizon_, "slot ", t, " outside horizon ", horizon_);
+    const auto slot = static_cast<std::size_t>(std::clamp<TimeSlot>(t, 0, horizon_ - 1));
+    return slot * shards_ / static_cast<std::size_t>(horizon_);
+}
+
+ShardPlan::BandRange ShardPlan::bands(const workload::Request& request) const {
+    BandRange range;
+    range.first = band_of(request.arrival);
+    // end() is one past the last occupied slot; the last band is the one
+    // owning slot end() - 1 (duration >= 1 guarantees it exists).
+    range.last = band_of(std::min<TimeSlot>(request.end(), horizon_) - 1);
+    VNFR_DCHECK(range.first <= range.last, "inverted band range for request ",
+                request.id.value);
+    return range;
+}
+
+std::vector<std::vector<std::size_t>> build_waves(
+    const ShardPlan& plan, const std::vector<workload::Request>& batch) {
+    // Greedy list scheduling in stream order: request i runs one wave
+    // after the latest wave of any band it touches. Same-band requests
+    // keep their order (each bumps next_free past itself); disjoint
+    // requests pack into the same wave.
+    std::vector<std::size_t> next_free(plan.shard_count(), 0);
+    std::vector<std::vector<std::size_t>> waves;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const ShardPlan::BandRange range = plan.bands(batch[i]);
+        std::size_t wave = 0;
+        for (std::size_t b = range.first; b <= range.last; ++b) {
+            wave = std::max(wave, next_free[b]);
+        }
+        for (std::size_t b = range.first; b <= range.last; ++b) {
+            next_free[b] = wave + 1;
+        }
+        if (wave == waves.size()) waves.emplace_back();
+        VNFR_DCHECK(wave < waves.size(), "wave index skipped a level");
+        waves[wave].push_back(i);
+    }
+    return waves;
+}
+
+}  // namespace vnfr::serve

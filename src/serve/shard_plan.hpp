@@ -1,0 +1,73 @@
+// Slot-band sharding for the admission pipeline.
+//
+// Both primal-dual schedulers touch only the request's execution window:
+// decide() reads lambda/usage cells of slots [arrival, end) (across all
+// cloudlets) and writes cells of the same window on the cloudlets it
+// selects. Two requests whose windows are disjoint therefore read and
+// write disjoint state, and their decisions commute *bit-exactly* —
+// deciding them in either order (or concurrently) produces the same
+// duals, the same usage, and the same outcomes as any sequential order.
+//
+// A ShardPlan partitions the horizon into `shards` contiguous slot bands;
+// a request maps to the contiguous band range its window covers. Two
+// requests can only conflict when their band ranges intersect (band
+// disjointness implies window disjointness — the converse is not true,
+// so the plan may conservatively serialize requests that would in fact
+// commute; it never parallelizes requests that conflict).
+//
+// build_waves() turns a batch (in stream order) into a wave schedule:
+// each wave holds batch indices with pairwise-disjoint band ranges, and
+// same-band requests keep their relative order across waves. Executing
+// waves in order with a barrier between them is therefore bit-identical
+// to executing the batch sequentially — the property the serve layer's
+// chaos gate checks at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/request.hpp"
+
+namespace vnfr::serve {
+
+class ShardPlan {
+  public:
+    /// Partitions [0, horizon) into min(shards, horizon) contiguous bands
+    /// of near-equal width. Throws std::invalid_argument for shards == 0
+    /// or horizon <= 0.
+    ShardPlan(std::size_t shards, TimeSlot horizon);
+
+    [[nodiscard]] std::size_t shard_count() const { return shards_; }
+    [[nodiscard]] TimeSlot horizon() const { return horizon_; }
+
+    /// Band owning slot t (t in [0, horizon)).
+    [[nodiscard]] std::size_t band_of(TimeSlot t) const;
+
+    /// Contiguous band range [first, last] touched by the request's
+    /// window [arrival, end()).
+    struct BandRange {
+        std::size_t first{0};
+        std::size_t last{0};
+
+        [[nodiscard]] bool overlaps(const BandRange& other) const {
+            return first <= other.last && other.first <= last;
+        }
+    };
+    [[nodiscard]] BandRange bands(const workload::Request& request) const;
+
+  private:
+    std::size_t shards_;
+    TimeSlot horizon_;
+};
+
+/// Conflict-ordered wave schedule over `batch` (stream order). Wave w is
+/// a set of indices into `batch` whose band ranges are pairwise disjoint;
+/// for any two conflicting requests the earlier index lands in a strictly
+/// earlier wave. Indices within a wave are ascending. With one shard
+/// every request conflicts with every other and the schedule degenerates
+/// to one index per wave — exactly sequential execution.
+[[nodiscard]] std::vector<std::vector<std::size_t>> build_waves(
+    const ShardPlan& plan, const std::vector<workload::Request>& batch);
+
+}  // namespace vnfr::serve

@@ -215,7 +215,7 @@ WalWriter WalWriter::create(std::string path, std::uint64_t wal_seq,
     atomic_write_file(path, encode_header(wal_seq, config_digest));
     const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
     if (fd < 0) throw_errno(path, "open for append");
-    return WalWriter(std::move(path), fd);
+    return WalWriter(std::move(path), fd, kHeaderSize);
 }
 
 WalWriter WalWriter::append_to(std::string path, std::uint64_t valid_size) {
@@ -235,12 +235,17 @@ WalWriter WalWriter::append_to(std::string path, std::uint64_t valid_size) {
         errno = saved;
         throw_errno(path, "lseek");
     }
-    return WalWriter(std::move(path), fd);
+    return WalWriter(std::move(path), fd, valid_size);
 }
 
 WalWriter::WalWriter(WalWriter&& other) noexcept
-    : path_(std::move(other.path_)), fd_(other.fd_) {
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      size_(other.size_),
+      staged_(std::move(other.staged_)),
+      staged_records_(other.staged_records_) {
     other.fd_ = -1;
+    other.staged_records_ = 0;
 }
 
 WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
@@ -248,7 +253,11 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
         close();
         path_ = std::move(other.path_);
         fd_ = other.fd_;
+        size_ = other.size_;
+        staged_ = std::move(other.staged_);
+        staged_records_ = other.staged_records_;
         other.fd_ = -1;
+        other.staged_records_ = 0;
     }
     return *this;
 }
@@ -264,11 +273,34 @@ void WalWriter::close() {
 
 std::uint64_t WalWriter::append(const WalRecord& record) {
     if (fd_ < 0) throw std::logic_error("WalWriter::append on a closed writer");
-    const off_t at = ::lseek(fd_, 0, SEEK_CUR);
-    if (at < 0) throw_errno(path_, "lseek");
-    write_all(fd_, path_, encode_wal_record(record));
+    if (staged_records_ != 0) {
+        throw std::logic_error("WalWriter::append with records staged — commit() first");
+    }
+    const std::uint64_t at = size_;
+    const std::string framed = encode_wal_record(record);
+    write_all(fd_, path_, framed);
     if (::fdatasync(fd_) != 0) throw_errno(path_, "fdatasync");
-    return static_cast<std::uint64_t>(at);
+    size_ += framed.size();
+    return at;
+}
+
+std::uint64_t WalWriter::stage(const WalRecord& record) {
+    if (fd_ < 0) throw std::logic_error("WalWriter::stage on a closed writer");
+    const std::uint64_t at = size_;
+    const std::string framed = encode_wal_record(record);
+    staged_.append(framed);
+    size_ += framed.size();
+    ++staged_records_;
+    return at;
+}
+
+void WalWriter::commit() {
+    if (staged_records_ == 0) return;
+    if (fd_ < 0) throw std::logic_error("WalWriter::commit on a closed writer");
+    write_all(fd_, path_, staged_);
+    if (::fdatasync(fd_) != 0) throw_errno(path_, "fdatasync");
+    staged_.clear();
+    staged_records_ = 0;
 }
 
 }  // namespace vnfr::serve

@@ -74,8 +74,16 @@ struct WalContents {
 /// Parses the WAL at `path`. Throws CorruptStateError per `mode` above.
 [[nodiscard]] WalContents read_wal(const std::string& path, WalReadMode mode);
 
-/// Appender over one WAL generation. All writes go through POSIX fds with
-/// fdatasync per record (the durability contract recovery relies on).
+/// Appender over one WAL generation. All writes go through POSIX fds;
+/// append() fdatasyncs per record (the durability contract recovery
+/// relies on), while stage()/commit() batch several records into one
+/// write + one fdatasync (group commit). Staged records live only in
+/// memory until commit() — a crash between stage and commit loses the
+/// whole staged suffix, which recovery treats exactly like records that
+/// were never appended (the request is simply not yet durable and gets
+/// resubmitted). A crash *during* the commit write can leave a prefix of
+/// the group on disk: whole records followed by at most one torn record
+/// at EOF, the same shape WalReadMode::kRecover already handles.
 class WalWriter {
   public:
     /// Creates `path` with a fresh header (atomically: the header is
@@ -95,8 +103,23 @@ class WalWriter {
     ~WalWriter();
 
     /// Appends one framed record and fdatasyncs. Returns the record's
-    /// file offset.
+    /// file offset. Equivalent to stage() + commit(); requires no records
+    /// currently staged (mixing the two modes inside one group would blur
+    /// which records the fdatasync covered).
     std::uint64_t append(const WalRecord& record);
+
+    /// Buffers one framed record in memory for the next commit(). No
+    /// syscalls; the record is NOT durable (nor even externalized) until
+    /// commit() returns. Returns the offset the record will occupy.
+    std::uint64_t stage(const WalRecord& record);
+
+    /// Writes every staged record in one contiguous append and fdatasyncs
+    /// once — the group-commit amortization point. No-op when nothing is
+    /// staged.
+    void commit();
+
+    /// Records staged since the last commit().
+    [[nodiscard]] std::size_t staged_records() const { return staged_records_; }
 
     [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -104,10 +127,15 @@ class WalWriter {
     void close();
 
   private:
-    WalWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+    WalWriter(std::string path, int fd, std::uint64_t size)
+        : path_(std::move(path)), fd_(fd), size_(size) {}
 
     std::string path_;
     int fd_{-1};
+    /// Logical end of file including staged-but-uncommitted bytes.
+    std::uint64_t size_{0};
+    std::string staged_;  ///< framed bytes awaiting commit()
+    std::size_t staged_records_{0};
 };
 
 /// Serializes one record to its framed byte form (exposed for tests that

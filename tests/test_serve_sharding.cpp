@@ -1,0 +1,229 @@
+// Slot-band sharding tests: ShardPlan/build_waves unit properties, plus
+// the load-bearing equivalence property — a randomized workload driven
+// through a 1-shard controller and through K-shard wave-parallel
+// controllers (several thread counts) must produce the SAME admitted
+// set, revenue bits, state digest, and a verify_schedule-clean schedule.
+//
+// Documented tolerance: none is needed here, because the drive pattern
+// is phased (single submitting thread, drains at fixed positions), which
+// makes shedding deterministic too. Free-running pipelines do have a
+// shed-timing tolerance — see admission_pipeline.hpp and the pipeline
+// tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/verify.hpp"
+#include "helpers.hpp"
+#include "serve/admission_controller.hpp"
+#include "serve/shard_plan.hpp"
+
+namespace vnfr::serve {
+namespace {
+
+using vnfr::testing::make_request;
+using vnfr::testing::random_instance;
+
+TEST(ServeShardPlan, BandsPartitionTheHorizon) {
+    const ShardPlan plan(4, 20);
+    ASSERT_EQ(plan.shard_count(), 4u);
+    std::size_t prev = 0;
+    std::set<std::size_t> seen;
+    for (TimeSlot t = 0; t < 20; ++t) {
+        const std::size_t band = plan.band_of(t);
+        EXPECT_LT(band, plan.shard_count());
+        EXPECT_GE(band, prev);  // monotone in t
+        prev = band;
+        seen.insert(band);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // surjective: no empty band
+}
+
+TEST(ServeShardPlan, ClampsShardsToTheHorizon) {
+    const ShardPlan plan(64, 5);
+    EXPECT_EQ(plan.shard_count(), 5u);
+    EXPECT_THROW(ShardPlan(0, 5), std::invalid_argument);
+    EXPECT_THROW(ShardPlan(4, 0), std::invalid_argument);
+}
+
+TEST(ServeShardPlan, RequestBandsCoverTheWindow) {
+    const ShardPlan plan(5, 20);  // bands of 4 slots
+    const workload::Request r = make_request(0, 0, 0.95, 3, 6, 1.0);  // slots [3, 9)
+    const ShardPlan::BandRange range = plan.bands(r);
+    EXPECT_EQ(range.first, plan.band_of(3));
+    EXPECT_EQ(range.last, plan.band_of(8));
+    EXPECT_TRUE(range.overlaps(range));
+    const ShardPlan::BandRange disjoint{range.last + 1, range.last + 1};
+    EXPECT_FALSE(range.overlaps(disjoint));
+    EXPECT_FALSE(disjoint.overlaps(range));
+}
+
+std::vector<workload::Request> random_batch(common::Rng& rng, std::size_t n,
+                                            TimeSlot horizon) {
+    std::vector<workload::Request> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const TimeSlot arrival =
+            static_cast<TimeSlot>(rng.uniform_int(0, horizon - 1));
+        const TimeSlot duration = static_cast<TimeSlot>(
+            rng.uniform_int(1, std::max<TimeSlot>(1, horizon - arrival)));
+        batch.push_back(make_request(static_cast<std::int64_t>(i), 0, 0.95, arrival,
+                                     duration, 1.0));
+    }
+    return batch;
+}
+
+TEST(ServeShardPlan, WavesAreConflictFreeAndOrderPreserving) {
+    common::Rng rng(0x5EED);
+    for (int round = 0; round < 20; ++round) {
+        const TimeSlot horizon = static_cast<TimeSlot>(rng.uniform_int(4, 30));
+        const std::size_t shards =
+            static_cast<std::size_t>(rng.uniform_int(1, 8));
+        const ShardPlan plan(shards, horizon);
+        const std::vector<workload::Request> batch =
+            random_batch(rng, static_cast<std::size_t>(rng.uniform_int(1, 40)),
+                         horizon);
+        const auto waves = build_waves(plan, batch);
+
+        // Every index appears exactly once, and a request's wave is
+        // strictly later than any earlier conflicting request's wave.
+        std::vector<std::size_t> wave_of(batch.size(), 0);
+        std::set<std::size_t> seen;
+        for (std::size_t w = 0; w < waves.size(); ++w) {
+            EXPECT_FALSE(waves[w].empty());
+            for (const std::size_t i : waves[w]) {
+                EXPECT_TRUE(seen.insert(i).second);
+                wave_of[i] = w;
+            }
+            // Pairwise band-disjoint within a wave.
+            for (std::size_t a = 0; a < waves[w].size(); ++a) {
+                for (std::size_t b = a + 1; b < waves[w].size(); ++b) {
+                    EXPECT_FALSE(plan.bands(batch[waves[w][a]])
+                                     .overlaps(plan.bands(batch[waves[w][b]])))
+                        << "conflicting requests share wave " << w;
+                }
+            }
+        }
+        EXPECT_EQ(seen.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            for (std::size_t j = i + 1; j < batch.size(); ++j) {
+                if (plan.bands(batch[i]).overlaps(plan.bands(batch[j]))) {
+                    EXPECT_LT(wave_of[i], wave_of[j]);
+                }
+            }
+        }
+    }
+}
+
+TEST(ServeShardPlan, OneShardDegeneratesToSequentialExecution) {
+    common::Rng rng(0xABC);
+    const ShardPlan plan(1, 12);
+    const std::vector<workload::Request> batch = random_batch(rng, 17, 12);
+    const auto waves = build_waves(plan, batch);
+    ASSERT_EQ(waves.size(), batch.size());
+    for (std::size_t w = 0; w < waves.size(); ++w) {
+        ASSERT_EQ(waves[w].size(), 1u);
+        EXPECT_EQ(waves[w][0], w);
+    }
+}
+
+std::string fresh_dir(const std::string& name) {
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+struct RunResult {
+    std::uint64_t digest{0};
+    ServeMetrics metrics;
+    std::vector<AdmittedRecord> admitted;
+    bool capacity_ok{false};
+};
+
+/// Phased deterministic drive: submit in seq order, drain every
+/// `drain_every` submissions (overflowing the queue in between so sheds
+/// happen), final drain, full verification.
+RunResult run_with(const core::Instance& instance, core::Scheme scheme,
+                   std::size_t shards, std::size_t threads, std::size_t group,
+                   const std::string& dir) {
+    ServeConfig cfg;
+    cfg.data_dir = dir;
+    cfg.checkpoint_every = 16;
+    cfg.queue_capacity = 6;
+    cfg.group_commit = group;
+    cfg.decide_shards = shards;
+    cfg.decide_threads = threads;
+    AdmissionController controller(instance, scheme, cfg);
+    const std::size_t drain_every = 10;  // > queue_capacity: sheds occur
+    for (std::size_t i = 0; i < instance.requests.size(); ++i) {
+        controller.submit(i, instance.requests[i]);
+        if ((i + 1) % drain_every == 0) controller.pump(drain_every);
+    }
+    controller.drain();
+
+    RunResult out;
+    out.digest = controller.state_digest();
+    out.metrics = controller.metrics();
+    out.admitted = controller.admitted_records();
+    std::vector<core::Decision> decisions(instance.requests.size());
+    for (const AdmittedRecord& rec : out.admitted) {
+        core::Decision& d = decisions[static_cast<std::size_t>(rec.seq)];
+        d.admitted = true;
+        d.placement.request = instance.requests[static_cast<std::size_t>(rec.seq)].id;
+        for (const auto& [cloudlet, replicas] : rec.sites) {
+            d.placement.sites.push_back(
+                core::Site{CloudletId{cloudlet}, static_cast<int>(replicas)});
+        }
+    }
+    out.capacity_ok = core::verify_schedule(instance, decisions).ok();
+    return out;
+}
+
+void expect_equivalent(const RunResult& base, const RunResult& other) {
+    EXPECT_EQ(base.digest, other.digest);
+    EXPECT_EQ(base.metrics.admitted, other.metrics.admitted);
+    EXPECT_EQ(base.metrics.rejected, other.metrics.rejected);
+    EXPECT_EQ(base.metrics.shed, other.metrics.shed);
+    EXPECT_EQ(base.metrics.revenue, other.metrics.revenue);          // bit-equal
+    EXPECT_EQ(base.metrics.shed_revenue, other.metrics.shed_revenue);
+    ASSERT_EQ(base.admitted.size(), other.admitted.size());
+    for (std::size_t i = 0; i < base.admitted.size(); ++i) {
+        EXPECT_EQ(base.admitted[i].seq, other.admitted[i].seq);
+        EXPECT_EQ(base.admitted[i].sites, other.admitted[i].sites);
+    }
+    EXPECT_TRUE(other.capacity_ok);
+}
+
+TEST(ServeShardingEquivalence, KShardPipelinesMatchOneShardBitExactly) {
+    for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+        common::Rng rng(seed);
+        const core::Instance inst = random_instance(rng, 120, 4, 24);
+        for (const core::Scheme scheme :
+             {core::Scheme::kOnsite, core::Scheme::kOffsite}) {
+            const std::string tag =
+                std::to_string(seed) +
+                (scheme == core::Scheme::kOnsite ? "_on" : "_off");
+            const RunResult base = run_with(inst, scheme, 1, 1, 1,
+                                            fresh_dir("shard_base_" + tag));
+            EXPECT_TRUE(base.capacity_ok);
+            EXPECT_GT(base.metrics.admitted, 0u);
+            EXPECT_GT(base.metrics.shed, 0u);  // sheds are exercised too
+            // Shard/thread/group axes, including non-divisible combos.
+            expect_equivalent(base, run_with(inst, scheme, 4, 4, 4,
+                                             fresh_dir("shard_4x4_" + tag)));
+            expect_equivalent(base, run_with(inst, scheme, 8, 2, 32,
+                                             fresh_dir("shard_8x2_" + tag)));
+            expect_equivalent(base, run_with(inst, scheme, 24, 8, 1,
+                                             fresh_dir("shard_24x8_" + tag)));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace vnfr::serve

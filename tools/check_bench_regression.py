@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate a bench JSON report against a committed baseline.
+
+Usage: check_bench_regression.py <measured.json> <baseline.json>
+
+The baseline file declares which top-level numeric metrics of the bench
+report are gated and the floor each must stay above:
+
+    {
+      "bench": "serve_throughput",
+      "tolerance": 0.8,
+      "metrics": {"group_commit_speedup": 5.0, ...},
+      "require": ["all_gates_passed", ...]
+    }
+
+A metric regresses when measured < tolerance * baseline — i.e. with the
+default tolerance 0.8, a drop of more than 20% versus the committed
+baseline fails the gate. Keys in `require` must be present and truthy in
+the report (pass/fail flags the bench computed itself).
+
+Exit status: 0 when every gate holds, 1 otherwise (or on malformed
+input). Prints one line per gate so CI logs show the margins.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def fail(message: str) -> "int":
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    measured_path, baseline_path = Path(argv[1]), Path(argv[2])
+    try:
+        measured = json.loads(measured_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"cannot load reports: {err}")
+
+    if measured.get("bench") != baseline.get("bench"):
+        return fail(
+            f"bench mismatch: report is {measured.get('bench')!r}, "
+            f"baseline is {baseline.get('bench')!r}"
+        )
+
+    tolerance = float(baseline.get("tolerance", 0.8))
+    if not 0.0 < tolerance <= 1.0:
+        return fail(f"baseline tolerance {tolerance} outside (0, 1]")
+
+    ok = True
+    metrics = baseline.get("metrics", {})
+    if not metrics:
+        return fail("baseline declares no gated metrics")
+    for key, floor in sorted(metrics.items()):
+        value = measured.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            print(f"MISSING {key}: not a number in {measured_path.name}")
+            ok = False
+            continue
+        threshold = tolerance * float(floor)
+        verdict = "ok" if value >= threshold else "REGRESSED"
+        print(
+            f"{verdict:>9}  {key}: {value:.1f} "
+            f"(baseline {float(floor):.1f}, floor {threshold:.1f})"
+        )
+        if value < threshold:
+            ok = False
+
+    for key in baseline.get("require", []):
+        value = measured.get(key)
+        verdict = "ok" if bool(value) and value is not None else "REGRESSED"
+        print(f"{verdict:>9}  {key}: {value!r} (required truthy)")
+        if not value:
+            ok = False
+
+    if not ok:
+        return fail(f"{measured_path.name} regressed versus {baseline_path.name}")
+    print(f"PASS: {measured_path.name} within {100 * (1 - tolerance):.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
