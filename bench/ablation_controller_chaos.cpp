@@ -186,6 +186,10 @@ int main(int argc, char** argv) {
             tr.set("mid_batch", t.mid_batch);
             tr.set("torn_tail", t.torn_tail_applied);
             tr.set("truncated_bytes", t.truncated_bytes);
+            // What recovery actually observed and dropped on revival —
+            // the operator-visible counterpart of the injected tear.
+            tr.set("recovered_torn_tail_bytes", t.recovered_torn_tail_bytes);
+            tr.set("recovered_torn_tail_records", t.recovered_torn_tail_records);
             tr.set("digest_match", t.digest_match);
             tr.set("revenue_match", t.revenue_match);
             tr.set("admitted_match", t.admitted_match);

@@ -88,6 +88,7 @@ AdmissionController::AdmissionController(const core::Instance& instance,
     // No other thread can see a partially-constructed controller, but the
     // recovery helpers require mu_, so hold it for the uncontended setup.
     const common::MutexLock lock(&mu_);
+    role_ = config_.standby ? ControllerRole::kStandby : ControllerRole::kPrimary;
     scheduler_ = make_scheduler(instance_, scheme_);
     VNFR_CHECK(scheduler_->supports_state_io(),
                "serve layer requires a scheduler with state export/import");
@@ -105,6 +106,7 @@ std::string AdmissionController::wal_path(std::uint64_t generation) const {
 void AdmissionController::recover() {
     const std::string snap_path = snapshot_path();
     if (file_exists(snap_path)) {
+        recovery_stats_.recovered_snapshot = true;
         ControllerSnapshot snap = load_snapshot(snap_path);
         if (snap.config_digest != config_digest_) {
             throw CorruptStateError(snap_path, 0,
@@ -145,6 +147,10 @@ void AdmissionController::recover() {
         }
         for (const WalRecord& rec : contents.records) replay_record(rec, path);
         wal_records_ = contents.records.size();
+        recovery_stats_.recovered_wal = true;
+        recovery_stats_.wal_records_replayed = contents.records.size();
+        recovery_stats_.torn_tail_bytes = contents.bytes_discarded;
+        recovery_stats_.torn_tail_records = contents.records_discarded;
         wal_.emplace(WalWriter::append_to(path, contents.valid_size));
     } else {
         // Legal crash window: the snapshot was renamed in but the next
@@ -160,15 +166,36 @@ void AdmissionController::remove_stale_wals() const {
     DIR* dir = ::opendir(config_.data_dir.c_str());
     if (dir == nullptr) return;
     std::vector<std::string> stale;
-    const std::string current = "wal-" + std::to_string(wal_seq_) + ".log";
     while (const dirent* entry = ::readdir(dir)) {
         const std::string name = entry->d_name;
-        if (name.starts_with("wal-") && name.ends_with(".log") && name != current) {
-            stale.push_back(config_.data_dir + "/" + name);
+        if (!name.starts_with("wal-") || !name.ends_with(".log")) continue;
+        const std::string digits = name.substr(4, name.size() - 4 - 4);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+            continue;  // not one of ours; leave it alone
         }
+        const std::uint64_t generation = std::stoull(digits);
+        if (generation == wal_seq_) continue;
+        // A generation above the current one is a half-finished rotation
+        // (created before the crash, never referenced by a snapshot) and
+        // must go in every mode — recovery would otherwise mistake it for
+        // live state on the next rotation. Older generations are history:
+        // stale without replication, retained ship-source with it.
+        if (generation < wal_seq_ && config_.retain_wals) continue;
+        stale.push_back(config_.data_dir + "/" + name);
     }
     ::closedir(dir);
     for (const std::string& path : stale) ::unlink(path.c_str());
+}
+
+void AdmissionController::release_wals_below(std::uint64_t generation) {
+    const common::MutexLock lock(&mu_);
+    const std::uint64_t ceiling = std::min(generation, wal_seq_);
+    for (std::uint64_t g = release_floor_; g < ceiling; ++g) {
+        const std::string path = wal_path(g);
+        if (file_exists(path)) ::unlink(path.c_str());
+    }
+    release_floor_ = std::max(release_floor_, ceiling);
 }
 
 void AdmissionController::replay_record(const WalRecord& rec, const std::string& path) {
@@ -281,9 +308,50 @@ void AdmissionController::shed(const QueueItem& victim) {
     mark_covered(victim.seq);
 }
 
+void AdmissionController::require_primary(const char* op) const {
+    if (role_ != ControllerRole::kPrimary) {
+        throw std::logic_error(std::string("AdmissionController::") + op +
+                               " on a standby controller — replicate via "
+                               "apply_replicated() or mark_promoted() first");
+    }
+}
+
+bool AdmissionController::apply_replicated(const WalRecord& rec) {
+    const common::MutexLock lock(&mu_);
+    if (role_ != ControllerRole::kStandby) {
+        throw std::logic_error(
+            "AdmissionController::apply_replicated on a primary controller — "
+            "primaries decide for themselves");
+    }
+    if (is_covered_locked(rec.seq)) return false;
+    // Durable first, exactly like the primary: the record reaches this
+    // standby's own WAL (and its fdatasync returns) before any state
+    // change becomes observable. replay_record then re-executes and
+    // cross-checks, so a diverged standby dies loudly here.
+    append_wal(rec);
+    replay_record(rec, wal_->path());
+    if (wal_records_ >= config_.checkpoint_every) checkpoint_locked();
+    return true;
+}
+
+void AdmissionController::mark_promoted() {
+    const common::MutexLock lock(&mu_);
+    role_ = ControllerRole::kPrimary;
+}
+
+WalPosition AdmissionController::wal_position() const {
+    const common::MutexLock lock(&mu_);
+    WalPosition pos;
+    pos.generation = wal_seq_;
+    pos.records = wal_records_;
+    pos.durable_bytes = wal_->durable_size();
+    return pos;
+}
+
 SubmitResult AdmissionController::submit(std::uint64_t seq,
                                          const workload::Request& request) {
     const common::MutexLock lock(&mu_);
+    require_primary("submit");
     if (is_covered_locked(seq)) return SubmitResult::kAlreadyCovered;
     // Uncovered submissions must arrive in stream order — FIFO processing
     // equals seq order, which the recovery protocol relies on.
@@ -322,6 +390,7 @@ SubmitResult AdmissionController::submit(std::uint64_t seq,
 
 std::vector<ProcessedOutcome> AdmissionController::pump(std::size_t max_requests) {
     const common::MutexLock lock(&mu_);
+    require_primary("pump");
     return pump_locked(max_requests);
 }
 
@@ -424,6 +493,7 @@ void AdmissionController::prune_shed_heap() {
 
 std::vector<ProcessedOutcome> AdmissionController::drain() {
     const common::MutexLock lock(&mu_);
+    require_primary("drain");
     std::vector<ProcessedOutcome> outcomes;
     while (!queue_.empty()) {
         std::vector<ProcessedOutcome> batch = pump_locked(queue_.size());
@@ -462,9 +532,19 @@ void AdmissionController::checkpoint_locked() {
     // the stale one.
     WalWriter next = WalWriter::create(wal_path(wal_seq_ + 1), wal_seq_ + 1,
                                        config_digest_);
+    if (checkpoint_crash_stage_ == 1) {
+        checkpoint_crash_stage_ = 0;
+        throw CrashInjected(appends_this_run_);
+    }
     save_snapshot(snapshot_path(), snap);
+    if (checkpoint_crash_stage_ == 2) {
+        checkpoint_crash_stage_ = 0;
+        throw CrashInjected(appends_this_run_);
+    }
     wal_->close();
-    ::unlink(wal_path(wal_seq_).c_str());
+    // With retention the rotated-out generation stays on disk for the
+    // replication shipper; release_wals_below() retires it once acked.
+    if (!config_.retain_wals) ::unlink(wal_path(wal_seq_).c_str());
     wal_.emplace(std::move(next));
     ++wal_seq_;
     wal_records_ = 0;

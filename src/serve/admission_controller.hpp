@@ -110,6 +110,44 @@ struct ServeConfig {
     /// Threads executing decision waves, including the pumping thread
     /// (1 = no pool). Effective only with decide_shards > 1.
     std::size_t decide_threads{1};
+    /// Keep rotated-out WAL generations on disk instead of unlinking them
+    /// at checkpoint. A replication shipper tails those files and releases
+    /// them via release_wals_below() once the standby has acknowledged
+    /// them — unlinking earlier would open a silent gap in the shipped
+    /// stream.
+    bool retain_wals{false};
+    /// Start in standby (follower) role: submit/pump/drain are refused
+    /// and state advances only through apply_replicated(), until
+    /// mark_promoted() flips the controller to primary.
+    bool standby{false};
+};
+
+/// Which side of a replicated pair this controller currently is.
+enum class ControllerRole : std::uint8_t {
+    kPrimary,  ///< decides requests itself (submit/pump/drain)
+    kStandby,  ///< applies shipped records only (apply_replicated)
+};
+
+/// Where the current WAL generation durably ends — the shipper's view of
+/// what may be replicated. Taken atomically under the controller lock.
+struct WalPosition {
+    std::uint64_t generation{0};
+    /// Records committed to the current generation.
+    std::uint64_t records{0};
+    /// Committed bytes of the current generation file (header included);
+    /// bytes beyond this are staged or in-flight and must not be shipped.
+    std::uint64_t durable_bytes{0};
+};
+
+/// What the constructor's recovery pass found on disk. A nonzero
+/// torn_tail_bytes is the operator-visible signal that a crash tore the
+/// final append and recovery truncated it (previously silent).
+struct RecoveryStats {
+    bool recovered_snapshot{false};  ///< a snapshot was loaded
+    bool recovered_wal{false};       ///< a WAL existed and was replayed
+    std::uint64_t wal_records_replayed{0};
+    std::uint64_t torn_tail_bytes{0};
+    std::uint64_t torn_tail_records{0};
 };
 
 /// Outcome of submitting one request to the stream.
@@ -155,6 +193,43 @@ class AdmissionController {
 
     /// Takes a snapshot now and rotates to a fresh WAL generation.
     void checkpoint() VNFR_EXCLUDES(mu_);
+
+    /// Standby role only: durably appends one record shipped from the
+    /// primary to this controller's own WAL (fdatasync before anything
+    /// becomes observable), then applies it exactly like recovery replay —
+    /// decisions are re-executed and cross-checked, so primary/standby
+    /// divergence dies as CorruptStateError instead of propagating.
+    /// Returns false (and does nothing) when `rec.seq` is already covered,
+    /// which makes retransmitted and disk-replayed records idempotent.
+    /// Records must arrive in stream order, the same order the primary
+    /// logged them. Checkpoints on the configured cadence.
+    bool apply_replicated(const WalRecord& rec) VNFR_EXCLUDES(mu_);
+
+    /// Flips a standby to primary. Callers must make the caught-up state
+    /// durable first (checkpoint()) — the replication layer's promotion
+    /// path enforces that ordering statically (vnfr-asa
+    /// replication-promote-checkpoint). Idempotent on a primary.
+    void mark_promoted() VNFR_EXCLUDES(mu_);
+
+    [[nodiscard]] ControllerRole role() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return role_;
+    }
+
+    /// Atomic snapshot of the durable end of the current WAL generation.
+    [[nodiscard]] WalPosition wal_position() const VNFR_EXCLUDES(mu_);
+
+    /// Unlinks retained WAL generations strictly below `generation`
+    /// (never the current one). Only meaningful with retain_wals; the
+    /// shipper calls this with the standby's acknowledged generation —
+    /// releasing anything un-acked would tear the shipped stream.
+    void release_wals_below(std::uint64_t generation) VNFR_EXCLUDES(mu_);
+
+    /// What recovery found on disk at construction time.
+    [[nodiscard]] RecoveryStats recovery_stats() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return recovery_stats_;
+    }
 
     [[nodiscard]] ServeMetrics metrics() const VNFR_EXCLUDES(mu_) {
         const common::MutexLock lock(&mu_);
@@ -209,6 +284,17 @@ class AdmissionController {
     void crash_after_records(std::uint64_t n) VNFR_EXCLUDES(mu_) {
         const common::MutexLock lock(&mu_);
         crash_countdown_ = n;
+    }
+
+    /// Test hook: throw CrashInjected *inside* the next checkpoint
+    /// rotation. Stage 1 dies after the next WAL generation file was
+    /// created but before the snapshot referencing it was saved; stage 2
+    /// dies after the snapshot was saved but before the old generation
+    /// was retired. 0 disables. Both are legal crash windows the recovery
+    /// and failover protocols must absorb.
+    void crash_at_checkpoint_stage(int stage) VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        checkpoint_crash_stage_ = stage;
     }
 
   private:
@@ -266,7 +352,11 @@ class AdmissionController {
     void checkpoint_locked() VNFR_REQUIRES(mu_);
     [[nodiscard]] std::string snapshot_path() const;
     [[nodiscard]] std::string wal_path(std::uint64_t generation) const;
+    /// Removes WAL files recovery must not see again: generations above
+    /// the current one always (half-created rotation leftovers), and with
+    /// retain_wals off, everything but the current generation.
     void remove_stale_wals() const VNFR_REQUIRES(mu_);
+    void require_primary(const char* op) const VNFR_REQUIRES(mu_);
 
     // Immutable after construction (no guard needed).
     const core::Instance& instance_;
@@ -304,6 +394,11 @@ class AdmissionController {
     std::uint64_t appends_this_run_ VNFR_GUARDED_BY(mu_) = 0;
     std::optional<WalWriter> wal_ VNFR_GUARDED_BY(mu_);
     std::uint64_t crash_countdown_ VNFR_GUARDED_BY(mu_) = 0;
+    int checkpoint_crash_stage_ VNFR_GUARDED_BY(mu_) = 0;
+    /// Generations below this are known-unlinked (release_wals_below).
+    std::uint64_t release_floor_ VNFR_GUARDED_BY(mu_) = 0;
+    ControllerRole role_ VNFR_GUARDED_BY(mu_) = ControllerRole::kPrimary;
+    RecoveryStats recovery_stats_ VNFR_GUARDED_BY(mu_);
 };
 
 /// The shape digest save/load validates against: cloudlet capacities and

@@ -1,162 +1,33 @@
 #include "serve/chaos_study.hpp"
 
-#include <dirent.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
-#include <set>
 #include <stdexcept>
 #include <utility>
 
 #include "common/rng.hpp"
 #include "core/verify.hpp"
 #include "serve/admission_controller.hpp"
+#include "serve/chaos_support.hpp"
 #include "serve/wire.hpp"
 
 namespace vnfr::serve {
 
 namespace {
 
-/// Creates `path` if needed and removes any controller state files left
-/// by a previous run, so every trial starts from a virgin directory.
-void fresh_state_dir(const std::string& path) {
-    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
-        throw std::invalid_argument("chaos study: cannot create state dir " + path);
-    }
-    DIR* dir = ::opendir(path.c_str());
-    if (dir == nullptr) {
-        throw std::invalid_argument("chaos study: cannot open state dir " + path);
-    }
-    std::vector<std::string> doomed;
-    while (const dirent* entry = ::readdir(dir)) {
-        const std::string name = entry->d_name;
-        if (name.starts_with("wal-") || name.starts_with("snapshot.bin")) {
-            doomed.push_back(path + "/" + name);
-        }
-    }
-    ::closedir(dir);
-    for (const std::string& file : doomed) ::unlink(file.c_str());
-}
-
-/// The single live WAL file in `path` (rotation unlinks old generations
-/// eagerly), or empty when none exists yet.
-std::string find_wal_file(const std::string& path) {
-    DIR* dir = ::opendir(path.c_str());
-    if (dir == nullptr) return {};
-    std::string found;
-    while (const dirent* entry = ::readdir(dir)) {
-        const std::string name = entry->d_name;
-        if (name.starts_with("wal-") && name.ends_with(".log")) {
-            found = path + "/" + name;
-            break;
-        }
-    }
-    ::closedir(dir);
-    return found;
-}
-
-std::uint64_t file_size(const std::string& path) {
-    struct stat st{};
-    if (::stat(path.c_str(), &st) != 0) return 0;
-    return static_cast<std::uint64_t>(st.st_size);
-}
-
-/// Progress markers the driver updates as it goes, so a CrashInjected
-/// unwind tells the recovery path exactly where the stream stood.
-struct DriveProgress {
-    std::size_t submitted{0};  ///< completed submit() calls
-    bool in_drain{false};      ///< the crash interrupted a drain
-};
-
-/// Drives `requests[start..N)` into the controller with the study's
-/// deterministic pattern: drain after every `drain_every`-th submit
-/// (position-based, so interrupted and resumed runs fire the same
-/// drains), plus a final drain. When `refire_drain` is set, an
-/// interrupted drain is completed first — before any new submissions —
-/// which restores the exact decision order of the uninterrupted run.
-void drive(AdmissionController& controller,
-           const std::vector<workload::Request>& requests, std::size_t start,
-           bool refire_drain, std::size_t drain_every, DriveProgress& progress) {
-    progress.submitted = start;
-    if (refire_drain) {
-        progress.in_drain = true;
-        controller.drain();
-        progress.in_drain = false;
-    }
-    for (std::size_t i = start; i < requests.size(); ++i) {
-        progress.submitted = i;
-        progress.in_drain = false;
-        controller.submit(i, requests[i]);
-        progress.submitted = i + 1;
-        if ((i + 1) % drain_every == 0) {
-            progress.in_drain = true;
-            controller.drain();
-            progress.in_drain = false;
-        }
-    }
-    progress.in_drain = true;
-    controller.drain();
-    progress.in_drain = false;
-}
-
-/// Re-submits every not-yet-durable request below `through` (normal
-/// submit path: covered seqs skip, shedding logic stays active), exactly
-/// reconstructing the crash-time queue.
-void rebuild_queue(AdmissionController& controller,
-                   const std::vector<workload::Request>& requests,
-                   std::size_t through) {
-    for (std::uint64_t i = controller.resume_cursor(); i < through; ++i) {
-        controller.submit(i, requests[static_cast<std::size_t>(i)]);
-    }
-}
-
-/// Assembles a per-request decision vector from the controller's durable
-/// admitted ledger (everything else default-rejected) for independent
-/// verification.
-std::vector<core::Decision> assemble_decisions(const core::Instance& instance,
-                                               const AdmissionController& controller) {
-    std::vector<core::Decision> decisions(instance.requests.size());
-    for (const AdmittedRecord& rec : controller.admitted_records()) {
-        if (rec.seq >= decisions.size()) continue;  // caught by admitted_match
-        core::Decision& d = decisions[static_cast<std::size_t>(rec.seq)];
-        d.admitted = true;
-        d.placement.request = instance.requests[static_cast<std::size_t>(rec.seq)].id;
-        for (const auto& [cloudlet, replicas] : rec.sites) {
-            d.placement.sites.push_back(
-                core::Site{CloudletId{cloudlet}, static_cast<int>(replicas)});
-        }
-    }
-    return decisions;
-}
-
-bool same_admitted(const std::vector<AdmittedRecord>& a,
-                   const std::vector<AdmittedRecord>& b) {
-    if (a.size() != b.size()) return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].seq != b[i].seq || a[i].request_id != b[i].request_id ||
-            a[i].payment != b[i].payment || a[i].sites != b[i].sites) {
-            return false;
-        }
-    }
-    return true;
-}
-
-bool unique_admitted(const std::vector<AdmittedRecord>& records) {
-    std::set<std::uint64_t> seqs;
-    std::set<std::int64_t> ids;
-    for (const AdmittedRecord& rec : records) {
-        if (!seqs.insert(rec.seq).second) return false;
-        if (!ids.insert(rec.request_id).second) return false;
-    }
-    return true;
-}
-
-bool metrics_equal(const ServeMetrics& a, const ServeMetrics& b) {
-    return a.processed == b.processed && a.admitted == b.admitted &&
-           a.rejected == b.rejected && a.shed == b.shed;
-}
+// The drive pattern and equivalence predicates are shared with the
+// failover study so both harnesses judge runs with identical code.
+using chaos::assemble_decisions;
+using chaos::DriveProgress;
+using chaos::drive;
+using chaos::file_size;
+using chaos::fresh_state_dir;
+using chaos::metrics_equal;
+using chaos::newest_wal_file;
+using chaos::rebuild_queue;
+using chaos::same_admitted;
+using chaos::unique_admitted;
 
 }  // namespace
 
@@ -259,7 +130,7 @@ ChaosStudyResult run_chaos_study(const core::Instance& instance,
 
         // Optionally tear the WAL tail, as an interrupted append would.
         if (outcome.crashed && config.torn_tails && trial % 2 == 0) {
-            const std::string wal = find_wal_file(trial_dir);
+            const std::string wal = newest_wal_file(trial_dir);
             const std::uint64_t size = wal.empty() ? 0 : file_size(wal);
             // Keep the 32-byte header plus a safety margin so the cut
             // lands inside the final record, not across older ones.
@@ -277,6 +148,10 @@ ChaosStudyResult run_chaos_study(const core::Instance& instance,
             // Restart from disk, rebuild the queue, complete any
             // interrupted drain, then finish the trace.
             AdmissionController revived(instance, config.scheme, cfg);
+            outcome.recovered_torn_tail_bytes =
+                revived.recovery_stats().torn_tail_bytes;
+            outcome.recovered_torn_tail_records =
+                revived.recovery_stats().torn_tail_records;
             rebuild_queue(revived, requests, progress.submitted);
             DriveProgress rest;
             drive(revived, requests, progress.submitted, progress.in_drain,

@@ -59,6 +59,11 @@ struct ChaosTrial {
     bool crashed{false};                  ///< the injected crash actually fired
     bool torn_tail_applied{false};
     std::uint64_t truncated_bytes{0};
+    /// What WAL recovery *observed* on revival (RecoveryStats): bytes and
+    /// record fragments dropped as a torn tail. Nonzero whenever the crash
+    /// itself tore an append, not only when the study truncated the file.
+    std::uint64_t recovered_torn_tail_bytes{0};
+    std::uint64_t recovered_torn_tail_records{0};
     std::size_t submitted_at_crash{0};    ///< completed submits before the crash
     bool digest_match{false};    ///< state digest equals the baseline's
     bool revenue_match{false};   ///< revenue + shed revenue bit-equal

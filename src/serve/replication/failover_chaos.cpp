@@ -1,0 +1,284 @@
+#include "serve/replication/failover_chaos.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/verify.hpp"
+#include "serve/admission_controller.hpp"
+#include "serve/chaos_support.hpp"
+#include "serve/replication/failover.hpp"
+#include "serve/replication/standby.hpp"
+#include "serve/replication/wal_shipper.hpp"
+
+namespace vnfr::serve::replication {
+
+namespace {
+
+using chaos::assemble_decisions;
+using chaos::DriveProgress;
+using chaos::drive;
+using chaos::drive_with_tick;
+using chaos::file_size;
+using chaos::fresh_state_dir;
+using chaos::metrics_equal;
+using chaos::newest_wal_file;
+using chaos::rebuild_queue;
+using chaos::same_admitted;
+using chaos::unique_admitted;
+
+void add_stats(TransportStats& into, const TransportStats& from) {
+    into.frames_sent += from.frames_sent;
+    into.frames_delivered += from.frames_delivered;
+    into.frames_dropped += from.frames_dropped;
+    into.frames_truncated += from.frames_truncated;
+    into.frames_duplicated += from.frames_duplicated;
+    into.frames_reordered += from.frames_reordered;
+    into.sends_rejected_full += from.sends_rejected_full;
+    into.acks_recorded += from.acks_recorded;
+}
+
+/// Pumps the link until it is fully drained and quiescent (control runs
+/// only — a lagging trial never settles before its kill).
+void settle_link(WalShipper& shipper, StandbyController& standby,
+                 ShipTransport& transport) {
+    for (int i = 0; i < 10000; ++i) {
+        const std::size_t sent = shipper.pump();
+        const std::size_t got = standby.poll();
+        if (sent == 0 && got == 0 && transport.in_flight() == 0) return;
+    }
+    throw std::logic_error("failover chaos: replication link failed to settle");
+}
+
+}  // namespace
+
+FailoverChaosResult run_failover_chaos_study(const core::Instance& instance,
+                                             const FailoverChaosConfig& config) {
+    const std::vector<workload::Request>& requests = instance.requests;
+    if (requests.empty()) {
+        throw std::invalid_argument("failover chaos: instance has no requests");
+    }
+    if (config.work_dir.empty()) {
+        throw std::invalid_argument("failover chaos: work_dir not set");
+    }
+    if (::mkdir(config.work_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::invalid_argument("failover chaos: cannot create work_dir " +
+                                    config.work_dir);
+    }
+    const std::size_t ship_every = std::max<std::size_t>(1, config.ship_every);
+
+    // Same cadence formula as the single-node chaos study: overflow the
+    // queue between drains so shedding stays exercised across failovers.
+    common::Rng pattern_rng = common::stream_rng(config.master_seed, 1);
+    const std::size_t drain_every =
+        config.queue_capacity +
+        static_cast<std::size_t>(pattern_rng.uniform_int(
+            1, static_cast<std::int64_t>(config.queue_capacity)));
+
+    ServeConfig primary_serve;
+    primary_serve.checkpoint_every = config.checkpoint_every;
+    primary_serve.queue_capacity = config.queue_capacity;
+    primary_serve.group_commit = config.group_commit;
+    primary_serve.retain_wals = true;  // the shipper tails rotated gens
+
+    ServeConfig standby_serve;
+    standby_serve.checkpoint_every = config.checkpoint_every;
+    standby_serve.queue_capacity = config.queue_capacity;
+    standby_serve.group_commit = config.group_commit;
+
+    FailoverChaosResult result;
+    result.scheme = config.scheme;
+
+    // Baseline: one uninterrupted, unreplicated run.
+    const std::string baseline_dir = config.work_dir + "/baseline";
+    fresh_state_dir(baseline_dir);
+    std::vector<AdmittedRecord> baseline_admitted;
+    {
+        ServeConfig cfg = standby_serve;
+        cfg.data_dir = baseline_dir;
+        AdmissionController baseline(instance, config.scheme, cfg);
+        DriveProgress progress;
+        drive(baseline, requests, 0, false, drain_every, progress);
+        result.baseline_digest = baseline.state_digest();
+        result.baseline_metrics = baseline.metrics();
+        result.baseline_outcomes =
+            baseline.metrics().processed + baseline.metrics().shed;
+        baseline_admitted = baseline.admitted_records();
+        result.baseline_capacity_ok =
+            core::verify_schedule(instance, assemble_decisions(instance, baseline))
+                .ok();
+    }
+
+    const std::string primary_dir = config.work_dir + "/primary";
+    const std::string standby_dir = config.work_dir + "/standby";
+
+    // Control: never kill the primary; a fully shipped standby must
+    // promote to the baseline digest with nothing left to recover from
+    // disk — replication alone carries the complete state.
+    {
+        fresh_state_dir(primary_dir);
+        fresh_state_dir(standby_dir);
+        ShipTransport transport(config.transport_capacity);
+        ServeConfig pcfg = primary_serve;
+        pcfg.data_dir = primary_dir;
+        AdmissionController primary(instance, config.scheme, pcfg);
+        ServeConfig scfg = standby_serve;
+        scfg.data_dir = standby_dir;
+        StandbyController standby(instance, config.scheme, scfg, transport);
+        WalShipper shipper(primary, primary_dir, transport);
+        DriveProgress progress;
+        std::size_t steps = 0;
+        drive_with_tick(primary, requests, 0, false, drain_every, progress, [&] {
+            if (++steps % ship_every == 0) {
+                shipper.pump();
+                standby.poll();
+            }
+        });
+        settle_link(shipper, standby, transport);
+        FailoverCoordinator coordinator(primary_dir);
+        const PromotionReport report = coordinator.promote(standby);
+        result.sync_promote_ok = report.disk_records_applied == 0 &&
+                                 report.promoted_digest == result.baseline_digest;
+        result.sync_release_ok = shipper.stats().generations_released > 0;
+    }
+
+    // Kill trials.
+    for (std::size_t trial = 0; trial < config.kill_points; ++trial) {
+        common::Rng rng = common::stream_rng(config.master_seed, 2000 + trial);
+        FailoverTrial outcome;
+        // Every 5th/(5n+4)th trial dies inside checkpoint rotation; the
+        // rest die right after a randomized WAL append.
+        if (trial % 5 == 3) {
+            outcome.checkpoint_crash_stage = 1;
+        } else if (trial % 5 == 4) {
+            outcome.checkpoint_crash_stage = 2;
+        }
+        outcome.faulty_transport = config.transport_faults && trial % 2 == 1;
+        // For rotation kills, arm the stage hook after a randomized
+        // prefix of submits so different trials die at different
+        // rotations (the hook fires at the next checkpoint once armed).
+        const std::size_t arm_at = static_cast<std::size_t>(rng.uniform_int(
+            0, std::max<std::int64_t>(0,
+                                      static_cast<std::int64_t>(requests.size()) / 2)));
+        if (outcome.checkpoint_crash_stage == 0) {
+            outcome.kill_after_records = static_cast<std::uint64_t>(rng.uniform_int(
+                1, std::max<std::int64_t>(
+                       1, static_cast<std::int64_t>(result.baseline_outcomes) - 1)));
+        }
+
+        fresh_state_dir(primary_dir);
+        fresh_state_dir(standby_dir);
+        ShipTransport transport(config.transport_capacity);
+        if (outcome.faulty_transport) {
+            TransportFaultPlan plan;
+            plan.seed = config.master_seed ^ (0xFA017EE0ULL + trial);
+            plan.drop = 0.08;
+            plan.truncate = 0.08;
+            plan.duplicate = 0.08;
+            plan.reorder = 0.08;
+            transport.set_fault_plan(plan);
+        }
+        ServeConfig scfg = standby_serve;
+        scfg.data_dir = standby_dir;
+        StandbyController standby(instance, config.scheme, scfg, transport);
+        DriveProgress progress;
+        {
+            ServeConfig pcfg = primary_serve;
+            pcfg.data_dir = primary_dir;
+            AdmissionController victim(instance, config.scheme, pcfg);
+            WalShipper shipper(victim, primary_dir, transport);
+            if (outcome.kill_after_records != 0) {
+                victim.crash_after_records(outcome.kill_after_records);
+            }
+            std::size_t steps = 0;
+            bool armed = outcome.checkpoint_crash_stage == 0;
+            try {
+                drive_with_tick(victim, requests, 0, false, drain_every, progress,
+                                [&] {
+                                    if (!armed && progress.submitted >= arm_at) {
+                                        victim.crash_at_checkpoint_stage(
+                                            outcome.checkpoint_crash_stage);
+                                        armed = true;
+                                    }
+                                    if (++steps % ship_every == 0) {
+                                        shipper.pump();
+                                        standby.poll();
+                                    }
+                                });
+            } catch (const CrashInjected&) {
+                outcome.crashed = true;
+            }
+            add_stats(result.transport_totals, transport.stats());
+            result.total_resync_rewinds += shipper.stats().resync_rewinds;
+        }
+        outcome.submitted_at_crash = progress.submitted;
+
+        // The primary host is gone, but frames already on the wire may
+        // still arrive — drain them before promotion.
+        standby.poll();
+        outcome.standby_applied_at_kill = standby.stats().records_applied;
+
+        // Optionally tear the primary WAL tail, as an interrupted append
+        // would. (The newest generation right after a stage-1 rotation
+        // kill is an empty header and stays under the size guard.)
+        if (outcome.crashed && config.torn_tails && trial % 2 == 0) {
+            const std::string wal = newest_wal_file(primary_dir);
+            const std::uint64_t size = wal.empty() ? 0 : file_size(wal);
+            if (size > kWalHeaderSize + 16) {
+                outcome.truncated_bytes =
+                    static_cast<std::uint64_t>(rng.uniform_int(1, 12));
+                if (::truncate(wal.c_str(),
+                               static_cast<off_t>(size - outcome.truncated_bytes)) ==
+                    0) {
+                    outcome.torn_tail_applied = true;
+                }
+            }
+        }
+
+        if (outcome.crashed) {
+            FailoverCoordinator coordinator(primary_dir);
+            const PromotionReport report = coordinator.promote(standby);
+            outcome.disk_records_applied = report.disk_records_applied;
+            outcome.disk_records_skipped = report.disk_records_skipped;
+            outcome.promote_torn_tail_bytes = report.torn_tail_bytes;
+            result.total_disk_records_applied += report.disk_records_applied;
+
+            // Resume admissions on the promoted standby: rebuild the
+            // crash-time queue, complete any interrupted drain, finish
+            // the trace — the same continuation the single-node study
+            // applies to a revived controller.
+            AdmissionController& promoted = standby.controller();
+            rebuild_queue(promoted, requests, progress.submitted);
+            DriveProgress rest;
+            drive(promoted, requests, progress.submitted, progress.in_drain,
+                  drain_every, rest);
+
+            outcome.digest_match =
+                promoted.state_digest() == result.baseline_digest;
+            const ServeMetrics& m = promoted.metrics();
+            outcome.revenue_match =
+                m.revenue == result.baseline_metrics.revenue &&
+                m.shed_revenue == result.baseline_metrics.shed_revenue;
+            outcome.metrics_match = metrics_equal(m, result.baseline_metrics);
+            outcome.admitted_match =
+                same_admitted(promoted.admitted_records(), baseline_admitted);
+            outcome.no_double_admits = unique_admitted(promoted.admitted_records());
+            outcome.capacity_ok =
+                core::verify_schedule(instance,
+                                      assemble_decisions(instance, promoted))
+                    .ok();
+        }
+
+        if (!outcome.ok()) ++result.failed_trials;
+        result.trials.push_back(outcome);
+    }
+    return result;
+}
+
+}  // namespace vnfr::serve::replication

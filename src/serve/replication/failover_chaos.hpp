@@ -1,0 +1,121 @@
+// Failover chaos harness: run a request trace once on a plain controller
+// (the baseline), then repeatedly run a primary + shipped standby pair,
+// kill the primary at randomized points — mid-group-commit, mid-ship,
+// mid-checkpoint-rotation, during standby lag, optionally with a torn WAL
+// tail and a faulty replication link — promote the standby from the
+// primary's on-disk tail, finish the trace on the promoted controller,
+// and gate that the result is indistinguishable from the uninterrupted
+// run: bit-identical state digest, identical revenue bits, the same
+// admitted set with no double-admits, and zero capacity violations under
+// independent verification.
+//
+// Kill points, fault schedules, and the driving pattern derive from
+// counter-based RNG streams of the master seed — bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/offline.hpp"
+#include "serve/replication/ship_transport.hpp"
+#include "serve/snapshot.hpp"
+
+namespace vnfr::serve::replication {
+
+struct FailoverChaosConfig {
+    core::Scheme scheme{core::Scheme::kOnsite};
+    std::uint64_t master_seed{0};
+    /// Number of randomized kill-and-promote trials. Every 5th and every
+    /// (5n+4)-th trial kills inside checkpoint rotation (stages 1 and 2)
+    /// instead of after a WAL append; odd trials run a faulty link.
+    std::size_t kill_points{25};
+    /// Controller snapshot cadence (WAL records between checkpoints).
+    std::size_t checkpoint_every{16};
+    /// Admission queue bound; the drive pattern overflows it on purpose
+    /// so shedding is exercised across failovers.
+    std::size_t queue_capacity{8};
+    /// WAL records per fdatasync in pump (group commit).
+    std::size_t group_commit{4};
+    /// Replication beat cadence: the shipper pumps and the standby polls
+    /// once every `ship_every` drive steps. 1 is a hot standby; larger
+    /// values open a lag window the promotion must close from disk.
+    std::size_t ship_every{1};
+    /// Bounded channel capacity in frames (backpressure realism).
+    std::size_t transport_capacity{4};
+    /// Mangle the data direction on odd trials (drop / truncate /
+    /// duplicate / reorder, ~8% each) to exercise resync.
+    bool transport_faults{true};
+    /// Additionally truncate the primary's newest WAL by a few bytes on
+    /// every other crashed trial, simulating a torn final append.
+    bool torn_tails{true};
+    /// Scratch directory; the study creates and reuses subdirectories.
+    std::string work_dir;
+};
+
+/// One kill-and-promote trial's outcome; `ok()` is the acceptance gate.
+struct FailoverTrial {
+    std::uint64_t kill_after_records{0};  ///< 0 for rotation-stage kills
+    /// 0 = kill after a WAL append; 1/2 = kill inside checkpoint
+    /// rotation (after the next generation exists / after the snapshot
+    /// is durable).
+    int checkpoint_crash_stage{0};
+    bool faulty_transport{false};
+    bool crashed{false};  ///< the injected kill actually fired
+    bool torn_tail_applied{false};
+    std::uint64_t truncated_bytes{0};
+    std::size_t submitted_at_crash{0};
+    /// Records the standby had applied when the primary died — the
+    /// replication watermark's distance behind the crash point is the
+    /// lag the disk tail replay had to close.
+    std::uint64_t standby_applied_at_kill{0};
+    std::uint64_t disk_records_applied{0};  ///< promotion catch-up from disk
+    std::uint64_t disk_records_skipped{0};  ///< already shipped (covered set)
+    std::uint64_t promote_torn_tail_bytes{0};
+    bool digest_match{false};
+    bool revenue_match{false};
+    bool metrics_match{false};
+    bool admitted_match{false};
+    bool no_double_admits{false};
+    bool capacity_ok{false};
+
+    [[nodiscard]] bool ok() const {
+        return crashed && digest_match && revenue_match && metrics_match &&
+               admitted_match && no_double_admits && capacity_ok;
+    }
+};
+
+struct FailoverChaosResult {
+    core::Scheme scheme{core::Scheme::kOnsite};
+    std::uint64_t baseline_digest{0};
+    ServeMetrics baseline_metrics;
+    std::uint64_t baseline_outcomes{0};
+    bool baseline_capacity_ok{false};
+    /// The no-kill control: a fully shipped standby promotes to the
+    /// baseline digest with ZERO records recovered from disk — shipping
+    /// alone replicates the full state.
+    bool sync_promote_ok{false};
+    /// In the control run the shipper's ack processing released at least
+    /// one rotated-out generation (retention is bounded, not hoarding).
+    bool sync_release_ok{false};
+    std::vector<FailoverTrial> trials;
+    std::size_t failed_trials{0};
+    /// Link-level fault exposure across all trials, so a passing study
+    /// can prove the adversarial paths actually ran.
+    TransportStats transport_totals;
+    std::uint64_t total_resync_rewinds{0};
+    std::uint64_t total_disk_records_applied{0};
+
+    [[nodiscard]] bool ok() const {
+        return baseline_capacity_ok && sync_promote_ok && sync_release_ok &&
+               failed_trials == 0;
+    }
+};
+
+/// Runs the study over `instance.requests` as the stream. Throws
+/// std::invalid_argument for an empty trace or missing work_dir.
+FailoverChaosResult run_failover_chaos_study(const core::Instance& instance,
+                                             const FailoverChaosConfig& config);
+
+}  // namespace vnfr::serve::replication

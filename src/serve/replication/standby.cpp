@@ -1,0 +1,112 @@
+#include "serve/replication/standby.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/wire.hpp"
+
+namespace vnfr::serve::replication {
+
+namespace {
+
+ServeConfig standby_config(ServeConfig config) {
+    config.standby = true;
+    return config;
+}
+
+}  // namespace
+
+StandbyController::StandbyController(const core::Instance& instance,
+                                     core::Scheme scheme, ServeConfig config,
+                                     ShipTransport& transport)
+    : transport_(&transport),
+      controller_(instance, scheme, standby_config(std::move(config))) {}
+
+std::size_t StandbyController::poll() {
+    const common::MutexLock lock(&standby_mu_);
+    std::size_t taken = 0;
+    while (std::optional<std::string> bytes = transport_->try_recv()) {
+        ++taken;
+        ++stats_.frames_received;
+        ShipFrame frame;
+        try {
+            frame = decode_ship_frame(*bytes);
+        } catch (const CorruptStateError&) {
+            // Mangled in flight. Its coordinates are unknowable, so latch
+            // resync until an in-order apply proves the shipper rewound.
+            ++stats_.frames_corrupt;
+            corrupt_pending_ = true;
+            continue;
+        }
+        const StreamPos start{frame.generation, frame.start_offset};
+        const StreamPos end{frame.generation,
+                            frame.kind == ShipFrameKind::kRotate
+                                ? frame.start_offset
+                                : frame.start_offset + frame.payload.size()};
+        const bool in_order = frame.generation == expected_.generation &&
+                              frame.start_offset == expected_.offset;
+        if (!in_order) {
+            if (expected_.before(start) ||
+                (frame.kind == ShipFrameKind::kRotate && expected_.before(end))) {
+                // A predecessor was lost: discard, remember how far the
+                // stream demonstrably extends, and ask for a rewind.
+                ++stats_.frames_gap;
+                if (resync_until_.before(end)) resync_until_ = end;
+            } else {
+                ++stats_.frames_stale;  // duplicate of applied bytes
+            }
+            continue;
+        }
+        if (frame.kind == ShipFrameKind::kRotate) {
+            expected_ = StreamPos{frame.generation + 1, kWalHeaderSize};
+            ++stats_.rotates_applied;
+            ++stats_.frames_applied;
+            corrupt_pending_ = false;
+            continue;
+        }
+        // In-order data frame: decode strictly (the frame CRC already
+        // held, so a bad record here is source corruption or divergence
+        // and must propagate, never be resync'd over) and apply each
+        // record durably. Retransmitted records land in the covered set.
+        const std::vector<WalRecord> records = decode_wal_record_stream(
+            frame.payload, "shipped generation " + std::to_string(frame.generation),
+            frame.start_offset);
+        for (const WalRecord& rec : records) {
+            if (controller_.apply_replicated(rec)) {
+                ++stats_.records_applied;
+                ++applied_records_;
+            } else {
+                ++stats_.records_covered;
+            }
+        }
+        expected_.offset += frame.payload.size();
+        ++stats_.frames_applied;
+        corrupt_pending_ = false;
+    }
+    ShipAck ack;
+    ack.generation = expected_.generation;
+    ack.next_offset = expected_.offset;
+    ack.applied_records = applied_records_;
+    ack.resync = corrupt_pending_ || expected_.before(resync_until_);
+    transport_->send_ack(ack);
+    ++stats_.acks_sent;
+    if (ack.resync) ++stats_.resync_requests;
+    return taken;
+}
+
+ShipAck StandbyController::watermark() const {
+    const common::MutexLock lock(&standby_mu_);
+    ShipAck ack;
+    ack.generation = expected_.generation;
+    ack.next_offset = expected_.offset;
+    ack.applied_records = applied_records_;
+    ack.resync = corrupt_pending_ || expected_.before(resync_until_);
+    return ack;
+}
+
+StandbyStats StandbyController::stats() const {
+    const common::MutexLock lock(&standby_mu_);
+    return stats_;
+}
+
+}  // namespace vnfr::serve::replication

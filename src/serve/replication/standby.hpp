@@ -1,0 +1,97 @@
+// Hot-standby side of the replication link: owns a standby-role
+// AdmissionController, drains ship frames from the transport, validates
+// stream continuity, applies records durably (the standby writes its own
+// WAL before mutating scheduler state — durable-before-observable holds
+// on both ends), and publishes its watermark back as the ack.
+//
+// Continuity model: the standby expects the next frame to start exactly
+// at (expected generation, expected offset) in PRIMARY WAL coordinates.
+// Anything else is classified and counted:
+//   - stale    (ends at or before expected)   -> duplicate delivery; ignored
+//   - future   (starts past expected)         -> a gap; discarded, resync latched
+//   - corrupt  (frame or record CRC fails)    -> discarded, resync latched
+// The resync latch stays up until every byte the standby has SEEN
+// referenced beyond its watermark is applied — clearing it earlier would
+// strand frames that were dropped behind a successfully applied
+// retransmit (the shipper would never learn to rewind past them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.hpp"
+#include "serve/admission_controller.hpp"
+#include "serve/replication/ship_transport.hpp"
+
+namespace vnfr::serve::replication {
+
+struct StandbyStats {
+    std::uint64_t frames_received{0};
+    std::uint64_t frames_applied{0};
+    std::uint64_t frames_stale{0};    ///< duplicates of already-applied bytes
+    std::uint64_t frames_gap{0};      ///< future frames discarded (lost predecessor)
+    std::uint64_t frames_corrupt{0};  ///< CRC/decode failures discarded
+    std::uint64_t rotates_applied{0};
+    std::uint64_t records_applied{0};
+    std::uint64_t records_covered{0};  ///< retransmits the covered-set absorbed
+    std::uint64_t acks_sent{0};
+    std::uint64_t resync_requests{0};
+};
+
+class StandbyController {
+  public:
+    /// Builds the standby's own controller over `config` (standby role is
+    /// forced on; submit/pump/drain refuse until promotion). The standby
+    /// keeps its own data_dir — its WAL is its private durability, not a
+    /// copy of the primary's files.
+    StandbyController(const core::Instance& instance, core::Scheme scheme,
+                      ServeConfig config, ShipTransport& transport);
+
+    StandbyController(const StandbyController&) = delete;
+    StandbyController& operator=(const StandbyController&) = delete;
+
+    /// Drains every deliverable frame, applies what continues the stream,
+    /// then publishes one ack carrying the updated watermark. Returns
+    /// frames taken off the transport.
+    std::size_t poll() VNFR_EXCLUDES(standby_mu_);
+
+    /// The replication watermark in primary WAL coordinates (also the
+    /// payload of the next ack).
+    [[nodiscard]] ShipAck watermark() const VNFR_EXCLUDES(standby_mu_);
+
+    [[nodiscard]] StandbyStats stats() const VNFR_EXCLUDES(standby_mu_);
+
+    /// The wrapped controller — read-only observation before promotion;
+    /// the FailoverCoordinator uses the mutable form to catch up and
+    /// promote.
+    [[nodiscard]] AdmissionController& controller() { return controller_; }
+    [[nodiscard]] const AdmissionController& controller() const {
+        return controller_;
+    }
+
+  private:
+    struct StreamPos {
+        std::uint64_t generation{0};
+        std::uint64_t offset{kWalHeaderSize};
+
+        [[nodiscard]] bool before(const StreamPos& other) const {
+            return generation < other.generation ||
+                   (generation == other.generation && offset < other.offset);
+        }
+    };
+
+    mutable common::Mutex standby_mu_;
+    ShipTransport* transport_;
+    AdmissionController controller_;
+    StreamPos expected_ VNFR_GUARDED_BY(standby_mu_);
+    /// Furthest stream position any discarded future frame referenced;
+    /// the resync latch clears once expected_ catches up to it.
+    StreamPos resync_until_ VNFR_GUARDED_BY(standby_mu_);
+    /// A corrupt frame's coordinates are unknowable, so it latches resync
+    /// until the next in-order apply proves the shipper rewound past it.
+    bool corrupt_pending_ VNFR_GUARDED_BY(standby_mu_){false};
+    std::uint64_t applied_records_ VNFR_GUARDED_BY(standby_mu_){0};
+    StandbyStats stats_ VNFR_GUARDED_BY(standby_mu_);
+};
+
+}  // namespace vnfr::serve::replication

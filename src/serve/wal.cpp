@@ -13,7 +13,7 @@ namespace vnfr::serve {
 namespace {
 
 constexpr std::string_view kMagic = "VNFRWAL1";
-constexpr std::uint64_t kHeaderSize = 8 + 4 + 8 + 8 + 4;  // magic..digest + CRC
+constexpr std::uint64_t kHeaderSize = kWalHeaderSize;
 /// No legal record comes close to this; a larger length prefix is either
 /// a torn tail (if it runs past EOF) or corruption.
 constexpr std::uint32_t kMaxRecordBytes = 1U << 20;
@@ -129,8 +129,49 @@ std::string encode_wal_record(const WalRecord& record) {
     return w.bytes();
 }
 
+std::vector<WalRecord> decode_wal_record_stream(std::string_view bytes,
+                                                const std::string& label,
+                                                std::uint64_t base_offset) {
+    std::vector<WalRecord> records;
+    std::uint64_t pos = 0;
+    while (pos < bytes.size()) {
+        const std::uint64_t record_start = base_offset + pos;
+        const std::uint64_t remaining = bytes.size() - pos;
+        if (remaining < 4) {
+            throw CorruptStateError(label, record_start,
+                                    "truncated record length prefix");
+        }
+        WireReader frame(bytes.substr(pos), label, record_start);
+        const std::uint32_t len = frame.get_u32("record length");
+        if (len > kMaxRecordBytes) {
+            throw CorruptStateError(label, record_start,
+                                    "record length " + std::to_string(len) +
+                                        " exceeds the sanity bound");
+        }
+        if (4ULL + len + 4ULL > remaining) {
+            throw CorruptStateError(label, record_start,
+                                    "record body runs past end of buffer");
+        }
+        const std::string_view payload = bytes.substr(pos + 4, len);
+        const std::uint64_t crc_offset = record_start + 4 + len;
+        WireReader crc_reader(bytes.substr(pos + 4 + len, 4), label, crc_offset);
+        if (crc_reader.get_u32("record CRC") != crc32(payload)) {
+            throw CorruptStateError(label, crc_offset, "record CRC mismatch");
+        }
+        WalRecord rec = decode_payload(payload, label, record_start + 4);
+        rec.file_offset = record_start;
+        records.push_back(std::move(rec));
+        pos += 4ULL + len + 4ULL;
+    }
+    return records;
+}
+
 WalContents read_wal(const std::string& path, WalReadMode mode) {
-    const std::string bytes = read_file(path);
+    return parse_wal_bytes(read_file(path), path, mode);
+}
+
+WalContents parse_wal_bytes(std::string_view bytes, const std::string& path,
+                            WalReadMode mode) {
     // The header is created atomically (temp + rename), so a short or
     // mangled header is corruption in every mode — no crash produces it.
     if (bytes.size() < kHeaderSize) {
@@ -165,6 +206,8 @@ WalContents read_wal(const std::string& path, WalReadMode mode) {
         const auto torn = [&](const std::string& what) -> bool {
             if (mode == WalReadMode::kRecover) {
                 out.bytes_discarded = bytes.size() - record_start;
+                // A crash tears at most the final append: one fragment.
+                out.records_discarded = 1;
                 return true;
             }
             throw CorruptStateError(path, record_start, what);

@@ -30,6 +30,11 @@ namespace vnfr::serve {
 
 inline constexpr std::uint32_t kWalVersion = 1;
 
+/// Fixed byte size of the WAL header (magic + version + generation +
+/// config digest + header CRC). Record framing starts at this offset —
+/// replication tailers start a fresh generation here.
+inline constexpr std::uint64_t kWalHeaderSize = 8 + 4 + 8 + 8 + 4;
+
 enum class WalRecordKind : std::uint8_t {
     kDecision = 1,  ///< the scheduler decided (admitted or rejected)
     kShed = 2,      ///< the overload guard turned the request away undecided
@@ -67,12 +72,23 @@ struct WalContents {
     /// Bytes of torn tail dropped in kRecover mode (0 when the file was
     /// clean). The valid prefix length is file size minus this.
     std::uint64_t bytes_discarded{0};
+    /// Record fragments dropped with the torn tail (0 or 1: a crash can
+    /// only tear the final append).
+    std::uint64_t records_discarded{0};
     /// Size in bytes of the validated prefix (header + intact records).
     std::uint64_t valid_size{0};
 };
 
 /// Parses the WAL at `path`. Throws CorruptStateError per `mode` above.
 [[nodiscard]] WalContents read_wal(const std::string& path, WalReadMode mode);
+
+/// Parses an in-memory WAL image (header + framed records). `label`
+/// names the source in errors. read_wal == read_file + parse_wal_bytes;
+/// replication tailers use this directly on a durable-prefix slice of a
+/// live file, which is guaranteed clean and parsed in kStrict mode.
+[[nodiscard]] WalContents parse_wal_bytes(std::string_view bytes,
+                                          const std::string& label,
+                                          WalReadMode mode);
 
 /// Appender over one WAL generation. All writes go through POSIX fds;
 /// append() fdatasyncs per record (the durability contract recovery
@@ -121,6 +137,13 @@ class WalWriter {
     /// Records staged since the last commit().
     [[nodiscard]] std::size_t staged_records() const { return staged_records_; }
 
+    /// Bytes of the file that are durably committed: logical size minus
+    /// staged-but-uncommitted bytes. A tailer may ship exactly this
+    /// prefix — staged bytes are not yet externalized, let alone durable.
+    [[nodiscard]] std::uint64_t durable_size() const {
+        return size_ - staged_.size();
+    }
+
     [[nodiscard]] const std::string& path() const { return path_; }
 
     /// Closes the fd early (destructor also does). Safe to call twice.
@@ -141,5 +164,13 @@ class WalWriter {
 /// Serializes one record to its framed byte form (exposed for tests that
 /// need to craft corrupt inputs).
 [[nodiscard]] std::string encode_wal_record(const WalRecord& record);
+
+/// Strictly decodes a headerless run of consecutively framed records
+/// (len|payload|CRC, as shipped by replication frames). Any inconsistency
+/// — including a short tail — throws CorruptStateError; `base_offset` is
+/// the run's position within its source file for error reporting, and
+/// each record's file_offset is set relative to it.
+[[nodiscard]] std::vector<WalRecord> decode_wal_record_stream(
+    std::string_view bytes, const std::string& label, std::uint64_t base_offset);
 
 }  // namespace vnfr::serve

@@ -1,0 +1,37 @@
+// Negative fixture for the replication-ordering rules: the canonical
+// sequences (apply -> ack; ack -> release; checkpoint -> promote) must
+// produce zero findings, and the trigger functions' own definitions must
+// not fire the rules on their signature lines.
+#include <cstdint>
+
+namespace vnfr::serve::replication {
+
+struct Ack { std::uint64_t generation{0}; };
+
+Ack latest_ack();
+bool apply_replicated(int rec);
+void release_wals_below(std::uint64_t generation);
+void mark_promoted();
+void checkpoint();
+
+// A definition of a trigger function is not a call site of itself.
+void send_ack(const Ack& ack) {
+    (void)ack;
+}
+
+void ack_after_apply(const Ack& ack, int rec) {
+    apply_replicated(rec);
+    send_ack(ack);
+}
+
+void release_acked() {
+    const Ack ack = latest_ack();
+    release_wals_below(ack.generation);
+}
+
+void promote_durably() {
+    checkpoint();
+    mark_promoted();
+}
+
+}  // namespace vnfr::serve::replication

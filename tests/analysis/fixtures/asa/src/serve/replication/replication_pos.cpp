@@ -1,0 +1,42 @@
+// Positive fixture for the vnfr-asa replication-ordering rules. Lives
+// under src/serve/replication/ in the fixture tree — the scope where the
+// primary/standby protocol proofs assume apply-before-ack,
+// ack-before-release, and checkpoint-before-promote.
+#include <cstdint>
+
+namespace vnfr::serve::replication {
+
+struct Ack { std::uint64_t generation{0}; };
+
+void send_ack(const Ack& ack);
+Ack latest_ack();
+bool apply_replicated(int rec);
+void release_wals_below(std::uint64_t generation);
+void mark_promoted();
+void checkpoint();
+
+// Acknowledging before anything was applied: the primary would release
+// WAL generations the standby never durably absorbed.
+void ack_without_apply(const Ack& ack) {
+    send_ack(ack);  // expect: replication-ack-apply
+}
+
+// Apply that comes *after* the ack: ordering matters, not presence.
+void ack_before_apply(const Ack& ack, int rec) {
+    send_ack(ack);  // expect: replication-ack-apply
+    apply_replicated(rec);
+}
+
+// Retiring WAL generations without consulting the standby's watermark.
+void release_blindly(std::uint64_t generation) {
+    release_wals_below(generation);  // expect: replication-release-ack
+}
+
+// Promoting a standby without first persisting its caught-up state: a
+// crash right after promotion would lose the disk-tail replay.
+void promote_without_durability() {
+    mark_promoted();  // expect: replication-promote-checkpoint
+    checkpoint();
+}
+
+}  // namespace vnfr::serve::replication

@@ -106,11 +106,25 @@ RULES: dict[str, str] = {
                            "before they are durable",
     "lock-order": "lock acquisition that is undeclared in "
                   "tools/lock_hierarchy.txt or inverts the declared order",
+    "replication-ack-apply": "send_ack() without a preceding "
+                             "apply_replicated() in the same function; the "
+                             "standby would acknowledge records it has not "
+                             "durably applied (ship-before-ack inversion)",
+    "replication-release-ack": "release_wals_below() without a preceding "
+                               "latest_ack() in the same function; the "
+                               "primary would retire WAL generations the "
+                               "standby never confirmed receiving",
+    "replication-promote-checkpoint": "mark_promoted() without a preceding "
+                                      "checkpoint() in the same function; "
+                                      "promotion must persist the caught-up "
+                                      "state before accepting admissions "
+                                      "(fsync-before-promote)",
     vf.SUPPRESSION_RULE: vf.SUPPRESSION_RULE_DOC,
 }
 
 DETERMINISM_PREFIXES = ("src/sim", "src/core")
 DURABILITY_PREFIXES = ("src/serve",)
+REPLICATION_PREFIXES = ("src/serve/replication",)
 
 # Tokens marking a file as feeding an ordered digest/checksum reduction.
 CHECKSUM_TOKENS = re.compile(r"\b(?:digest|Fnv1a|metrics_checksum|checksum)\b")
@@ -135,6 +149,12 @@ RE_CALLS = {
     "fdatasync": re.compile(r"(?<![\w])fdatasync\s*\("),
     "fsync_parent_dir": re.compile(r"(?<![\w])fsync_parent_dir\s*\("),
     "write_all": re.compile(r"(?<![\w])write_all\s*\("),
+    "send_ack": re.compile(r"(?<![\w])send_ack\s*\("),
+    "apply_replicated": re.compile(r"(?<![\w])apply_replicated\s*\("),
+    "release_wals_below": re.compile(r"(?<![\w])release_wals_below\s*\("),
+    "latest_ack": re.compile(r"(?<![\w])latest_ack\s*\("),
+    "mark_promoted": re.compile(r"(?<![\w])mark_promoted\s*\("),
+    "checkpoint": re.compile(r"(?<![\w])checkpoint\s*\("),
 }
 RE_ACQUIRE = [
     # common::MutexLock lock(&mu_);  /  MutexLock l(&job->error_mutex);
@@ -437,6 +457,7 @@ def analyze_model(model: FileModel, hierarchy: dict[str, int]) -> list[Finding]:
     rel = model.rel
     in_determinism = rel.startswith(DETERMINISM_PREFIXES)
     in_durability = rel.startswith(DURABILITY_PREFIXES)
+    in_replication = rel.startswith(REPLICATION_PREFIXES)
 
     # --- determinism pattern rules (line-exact in both modes) -------------
     if in_determinism:
@@ -493,6 +514,43 @@ def analyze_model(model: FileModel, hierarchy: dict[str, int]) -> list[Finding]:
                             f"write_all() in '{fn.name}' with no following "
                             "fsync/fdatasync; bytes may be externalized "
                             "before they are durable"))
+
+    # --- replication ordering ---------------------------------------------
+    # Same shape as the durability rules: call-ordering invariants inside a
+    # single function, applied only under src/serve/replication. The
+    # fn.name guard skips the trigger's own definition (its signature line
+    # scans as a call in token mode, like write_all above).
+    if in_replication:
+        for fn in model.functions:
+            calls = [e for e in fn.events if e.kind == "call"]
+
+            def earlier(name: str, before: int) -> bool:
+                return any(c.name == name and c.line < before for c in calls)
+
+            for ev in calls:
+                if ev.name == fn.name:
+                    continue
+                if ev.name == "send_ack" and \
+                        not earlier("apply_replicated", ev.line):
+                    findings.append(Finding(
+                        rel, ev.line, "replication-ack-apply",
+                        f"send_ack() in '{fn.name}' with no earlier "
+                        "apply_replicated(); the standby would acknowledge "
+                        "records it has not applied"))
+                elif ev.name == "release_wals_below" and \
+                        not earlier("latest_ack", ev.line):
+                    findings.append(Finding(
+                        rel, ev.line, "replication-release-ack",
+                        f"release_wals_below() in '{fn.name}' with no "
+                        "earlier latest_ack(); the primary would retire WAL "
+                        "generations the standby never confirmed"))
+                elif ev.name == "mark_promoted" and \
+                        not earlier("checkpoint", ev.line):
+                    findings.append(Finding(
+                        rel, ev.line, "replication-promote-checkpoint",
+                        f"mark_promoted() in '{fn.name}' with no earlier "
+                        "checkpoint(); caught-up state must be durable "
+                        "before the promoted controller admits"))
 
     # --- lock order (all of src/) -----------------------------------------
     # A scoped lock is held from its acquisition until its block closes:

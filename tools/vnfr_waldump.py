@@ -1,0 +1,340 @@
+#!/usr/bin/env python3
+"""Offline inspector for vnfr admission-controller WAL files.
+
+Usage: vnfr_waldump.py [--recover] [--quiet] <wal-file>...
+       vnfr_waldump.py --self-test
+
+Prints the 32-byte header (magic, version, generation, config digest,
+header CRC), then one line per framed record: file offset, payload
+length, stream seq, kind, CRC status, and a decoded summary of the
+request and its outcome. The framing and payload layout mirror
+src/serve/wal.{hpp,cpp}:
+
+    header:  "VNFRWAL1" | u32 version | u64 generation
+             | u64 config digest | u32 CRC(first 28 bytes)
+    record:  u32 payload length | payload | u32 CRC(payload)
+
+all little-endian; the CRC is the reflected IEEE CRC-32 (zlib), so
+binascii.crc32 reads the real files byte-for-byte.
+
+Default mode is strict: the first inconsistency is flagged with its file
+offset and the tool exits 1. With --recover, a final record that is
+incomplete or CRC-broken *and* touches end-of-file is reported as a torn
+tail (the only state a crash can produce) and the exit stays 0 — the
+same policy as WalReadMode::kRecover.
+
+--self-test crafts WALs in memory (clean, torn-tail, mid-file
+corruption) and checks the parser against them; no files are read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import binascii
+import struct
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+MAGIC = b"VNFRWAL1"
+WAL_VERSION = 1
+HEADER_SIZE = 8 + 4 + 8 + 8 + 4
+MAX_RECORD_BYTES = 1 << 20
+
+KIND_NAMES = {1: "decision", 2: "shed"}
+REJECT_REASONS = {0: "none", 1: "infeasible", 2: "priced-out", 3: "no-capacity"}
+
+
+def crc32(data: bytes) -> int:
+    return binascii.crc32(data) & 0xFFFFFFFF
+
+
+class WalError(Exception):
+    """Corruption with a file offset, mirroring CorruptStateError."""
+
+    def __init__(self, offset: int, what: str):
+        super().__init__(f"offset {offset}: {what}")
+        self.offset = offset
+        self.what = what
+
+
+@dataclass
+class Record:
+    offset: int            # of the u32 length prefix
+    payload_len: int
+    seq: int
+    kind: int
+    summary: str
+
+
+@dataclass
+class Dump:
+    generation: int = 0
+    config_digest: int = 0
+    records: list[Record] = field(default_factory=list)
+    torn_tail_bytes: int = 0
+    torn_tail_records: int = 0
+    valid_size: int = HEADER_SIZE
+
+
+class Reader:
+    def __init__(self, buf: bytes, base: int):
+        self.buf = buf
+        self.pos = 0
+        self.base = base  # file offset of buf[0], for error reporting
+
+    def take(self, n: int, what: str) -> bytes:
+        if len(self.buf) - self.pos < n:
+            raise WalError(self.base + self.pos, f"truncated while reading {what}")
+        out = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u32(self, what: str) -> int:
+        return struct.unpack("<I", self.take(4, what))[0]
+
+    def u64(self, what: str) -> int:
+        return struct.unpack("<Q", self.take(8, what))[0]
+
+    def i64(self, what: str) -> int:
+        return struct.unpack("<q", self.take(8, what))[0]
+
+    def f64(self, what: str) -> float:
+        return struct.unpack("<d", self.take(8, what))[0]
+
+
+def decode_payload(payload: bytes, base: int) -> tuple[int, int, str]:
+    """Returns (kind, seq, one-line summary). Raises WalError on nonsense."""
+    r = Reader(payload, base)
+    kind = r.u8("record kind")
+    if kind not in KIND_NAMES:
+        raise WalError(base + r.pos - 1, f"unknown WAL record kind {kind}")
+    seq = r.u64("record seq")
+    req_id = r.i64("request id")
+    vnf = r.i64("request vnf")
+    requirement = r.f64("request requirement")
+    arrival = r.i64("request arrival")
+    duration = r.i64("request duration")
+    payment = r.f64("request payment")
+    r.i64("request source")
+    parts = [f"req {req_id} vnf {vnf} R={requirement:g} "
+             f"t=[{arrival},{arrival + duration}) pay={payment:g}"]
+    if kind == 1:
+        admitted = r.u8("admitted flag")
+        if admitted > 1:
+            raise WalError(base + r.pos - 1, "admitted flag is neither 0 nor 1")
+        reason = r.u8("reject reason")
+        if reason not in REJECT_REASONS:
+            raise WalError(base + r.pos - 1, "reject reason byte out of range")
+        site_count = r.u32("site count")
+        if site_count > MAX_RECORD_BYTES // 16:
+            raise WalError(base + r.pos - 4, "site count out of range")
+        sites = []
+        for _ in range(site_count):
+            cloudlet = r.i64("site cloudlet")
+            replicas = r.i64("site replicas")
+            sites.append(f"c{cloudlet}x{replicas}")
+        if admitted:
+            parts.append("ADMIT [" + " ".join(sites) + "]")
+        else:
+            parts.append(f"reject ({REJECT_REASONS[reason]})")
+    else:
+        parts.append("shed (overload)")
+    if r.pos != len(payload):
+        raise WalError(base + r.pos, "trailing bytes after WAL record payload")
+    return kind, seq, " ".join(parts)
+
+
+def parse_wal(data: bytes, *, recover: bool) -> Dump:
+    if len(data) < HEADER_SIZE:
+        raise WalError(0, "WAL shorter than its 32-byte header")
+    if data[:8] != MAGIC:
+        raise WalError(0, "bad magic (not a VNFR WAL)")
+    version = struct.unpack_from("<I", data, 8)[0]
+    if version != WAL_VERSION:
+        raise WalError(8, f"unsupported WAL version {version}")
+    dump = Dump()
+    dump.generation = struct.unpack_from("<Q", data, 12)[0]
+    dump.config_digest = struct.unpack_from("<Q", data, 20)[0]
+    header_crc = struct.unpack_from("<I", data, 28)[0]
+    if header_crc != crc32(data[:HEADER_SIZE - 4]):
+        raise WalError(HEADER_SIZE - 4, "WAL header CRC mismatch")
+
+    pos = HEADER_SIZE
+    while pos < len(data):
+        start = pos
+        length = None
+        try:
+            if len(data) - pos < 4:
+                raise WalError(pos, "truncated record length prefix")
+            (length,) = struct.unpack_from("<I", data, pos)
+            if length == 0 or length > MAX_RECORD_BYTES:
+                raise WalError(pos, f"implausible record length {length}")
+            if len(data) - pos - 4 < length + 4:
+                raise WalError(pos, "record runs past end of file")
+            payload = data[pos + 4:pos + 4 + length]
+            (rec_crc,) = struct.unpack_from("<I", data, pos + 4 + length)
+            if rec_crc != crc32(payload):
+                raise WalError(pos + 4 + length, "record CRC mismatch")
+            kind, seq, summary = decode_payload(payload, pos + 4)
+        except WalError as err:
+            # A busted *final* record reaching EOF is a legal crash state;
+            # anything earlier is corruption in both modes. "Implausible
+            # length" and payload nonsense still count as torn only when
+            # the record frame would extend to (or past) EOF.
+            frame_end = (start + 4 + length + 4 if length is not None
+                         else len(data))
+            touches_eof = frame_end >= len(data)
+            if recover and touches_eof:
+                dump.torn_tail_bytes = len(data) - start
+                dump.torn_tail_records = 1
+                dump.valid_size = start
+                return dump
+            raise err
+        dump.records.append(Record(start, length, seq, kind, summary))
+        pos += 4 + length + 4
+    dump.valid_size = pos
+    return dump
+
+
+def print_dump(path: str, dump: Dump, *, quiet: bool) -> None:
+    print(f"{path}: generation {dump.generation}, "
+          f"config digest 0x{dump.config_digest:016x}, header crc ok")
+    if not quiet:
+        for rec in dump.records:
+            print(f"  @{rec.offset:<8} len {rec.payload_len:<5} "
+                  f"seq {rec.seq:<6} {KIND_NAMES[rec.kind]:<8} crc ok  "
+                  f"{rec.summary}")
+    print(f"  {len(dump.records)} record(s), valid prefix {dump.valid_size} bytes"
+          + (f", torn tail: {dump.torn_tail_bytes} byte(s) / "
+             f"{dump.torn_tail_records} record(s) dropped"
+             if dump.torn_tail_bytes else ""))
+
+
+# --------------------------------------------------------------------------
+# Self-test: craft WALs in memory and check the parser against them.
+# --------------------------------------------------------------------------
+
+def _encode_payload(kind: int, seq: int, *, admitted: bool = True,
+                    reason: int = 0, sites: list[tuple[int, int]] | None = None,
+                    req_id: int = 7) -> bytes:
+    body = struct.pack("<BQ", kind, seq)
+    body += struct.pack("<qqdqqdq", req_id, 3, 0.99, 5, 4, 12.5, 2)
+    if kind == 1:
+        body += struct.pack("<BBI", 1 if admitted else 0, reason,
+                            len(sites or []))
+        for cloudlet, replicas in sites or []:
+            body += struct.pack("<qq", cloudlet, replicas)
+    return body
+
+
+def _frame(payload: bytes) -> bytes:
+    return struct.pack("<I", len(payload)) + payload + struct.pack("<I", crc32(payload))
+
+
+def _header(generation: int = 0, digest: int = 0xDEAD) -> bytes:
+    head = MAGIC + struct.pack("<IQQ", WAL_VERSION, generation, digest)
+    return head + struct.pack("<I", crc32(head))
+
+
+def self_test() -> int:
+    failures: list[str] = []
+
+    def check(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    clean = _header(generation=3) + \
+        _frame(_encode_payload(1, 0, admitted=True, sites=[(2, 3)])) + \
+        _frame(_encode_payload(1, 1, admitted=False, reason=2)) + \
+        _frame(_encode_payload(2, 2))
+    d = parse_wal(clean, recover=False)
+    check(d.generation == 3 and len(d.records) == 3, "clean WAL parses")
+    check(d.records[0].offset == HEADER_SIZE, "first record offset")
+    check(d.records[2].kind == 2, "shed record kind")
+    check("ADMIT" in d.records[0].summary, "admit summary")
+    check("priced-out" in d.records[1].summary, "reject reason name")
+    check(d.valid_size == len(clean), "valid prefix spans the file")
+
+    torn = clean[:-5]  # cut into the final record's CRC
+    try:
+        parse_wal(torn, recover=False)
+        check(False, "strict mode rejects a torn tail")
+    except WalError as err:
+        check(err.offset == d.records[2].offset,
+              "strict error points at the torn record's frame")
+    d2 = parse_wal(torn, recover=True)
+    check(len(d2.records) == 2 and d2.torn_tail_records == 1,
+          "recover mode drops exactly the torn record")
+    check(d2.torn_tail_bytes == len(torn) - d2.valid_size,
+          "torn byte count matches the invalid suffix")
+
+    # Flip a byte inside the FIRST record: corruption before the tail must
+    # throw in both modes (it cannot be a crash artifact).
+    mid = bytearray(clean)
+    mid[HEADER_SIZE + 6] ^= 0xFF
+    for recover in (False, True):
+        try:
+            parse_wal(bytes(mid), recover=recover)
+            check(False, f"mid-file corruption throws (recover={recover})")
+        except WalError:
+            pass
+
+    bad_head = bytearray(clean)
+    bad_head[9] ^= 0x01  # version field
+    try:
+        parse_wal(bytes(bad_head), recover=True)
+        check(False, "header mangling is detected")
+    except WalError:
+        pass
+
+    if failures:
+        for f in failures:
+            print(f"vnfr_waldump --self-test: FAILED: {f}")
+        return 1
+    print("vnfr_waldump --self-test: ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vnfr_waldump.py",
+        description="dump vnfr WAL files (framing, seq/kind, CRC status)")
+    parser.add_argument("files", nargs="*", help="WAL files (wal-<gen>.log)")
+    parser.add_argument("--recover", action="store_true",
+                        help="drop a torn tail like WalReadMode::kRecover "
+                             "instead of failing on it")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the per-file summary lines")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the parser against in-memory WALs")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no WAL files given (or use --self-test)")
+
+    status = 0
+    for name in args.files:
+        try:
+            data = Path(name).read_bytes()
+        except OSError as err:
+            print(f"{name}: {err}", file=sys.stderr)
+            status = 1
+            continue
+        try:
+            dump = parse_wal(data, recover=args.recover)
+        except WalError as err:
+            print(f"{name}: CORRUPT at {err}", file=sys.stderr)
+            status = 1
+            continue
+        print_dump(name, dump, quiet=args.quiet)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

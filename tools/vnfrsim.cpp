@@ -300,10 +300,20 @@ int run_serve(const Options& opt) {
     cfg.decide_threads = opt.decide_threads;
     serve::AdmissionController controller(instance, scheme, cfg);
     if (controller.resume_cursor() > 0 || controller.metrics().processed > 0) {
+        const serve::RecoveryStats rec = controller.recovery_stats();
         std::cout << "resumed from " << opt.serve_dir << ": "
                   << controller.metrics().processed << " decided, "
                   << controller.metrics().shed << " shed; next uncovered seq "
                   << controller.resume_cursor() << "\n";
+        std::cout << "recovery: snapshot=" << (rec.recovered_snapshot ? "yes" : "no")
+                  << ", wal records replayed " << rec.wal_records_replayed;
+        if (rec.torn_tail_bytes > 0) {
+            std::cout << "; torn tail dropped: " << rec.torn_tail_bytes
+                      << " byte(s) / " << rec.torn_tail_records
+                      << " record(s) (crash mid-append, inspect with "
+                         "tools/vnfr_waldump.py)";
+        }
+        std::cout << "\n";
     }
     if (opt.chaos_kill > 0) controller.crash_after_records(opt.chaos_kill);
 
