@@ -1,9 +1,5 @@
 #include "serve/admission_controller.hpp"
 
-#include <dirent.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <iterator>
 #include <stdexcept>
@@ -32,11 +28,6 @@ std::unique_ptr<core::OnlineScheduler> make_scheduler(const core::Instance& inst
     return std::make_unique<core::OffsitePrimalDual>(instance);
 }
 
-bool is_directory(const std::string& path) {
-    struct stat st{};
-    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
-}
-
 }  // namespace
 
 std::uint64_t instance_config_digest(const core::Instance& instance,
@@ -60,7 +51,8 @@ std::uint64_t instance_config_digest(const core::Instance& instance,
 AdmissionController::AdmissionController(const core::Instance& instance,
                                          core::Scheme scheme, ServeConfig config)
     : instance_(instance), scheme_(scheme), config_(std::move(config)) {
-    if (config_.data_dir.empty() || !is_directory(config_.data_dir)) {
+    vfs_ = config_.vfs != nullptr ? config_.vfs : &posix_vfs();
+    if (config_.data_dir.empty() || !vfs_->dir_exists(config_.data_dir)) {
         throw std::invalid_argument("AdmissionController: data_dir '" +
                                     config_.data_dir + "' is not a directory");
     }
@@ -105,9 +97,9 @@ std::string AdmissionController::wal_path(std::uint64_t generation) const {
 
 void AdmissionController::recover() {
     const std::string snap_path = snapshot_path();
-    if (file_exists(snap_path)) {
+    if (file_exists(*vfs_, snap_path)) {
         recovery_stats_.recovered_snapshot = true;
-        ControllerSnapshot snap = load_snapshot(snap_path);
+        ControllerSnapshot snap = load_snapshot(*vfs_, snap_path);
         if (snap.config_digest != config_digest_) {
             throw CorruptStateError(snap_path, 0,
                                     "snapshot was saved for a different instance/scheme "
@@ -132,8 +124,8 @@ void AdmissionController::recover() {
     // default state; a crash before the first checkpoint leaves exactly
     // wal-0.log to replay.
     const std::string path = wal_path(wal_seq_);
-    if (file_exists(path)) {
-        WalContents contents = read_wal(path, WalReadMode::kRecover);
+    if (file_exists(*vfs_, path)) {
+        WalContents contents = read_wal(*vfs_, path, WalReadMode::kRecover);
         if (contents.wal_seq != wal_seq_) {
             throw CorruptStateError(path, 0,
                                     "WAL generation " + std::to_string(contents.wal_seq) +
@@ -151,23 +143,22 @@ void AdmissionController::recover() {
         recovery_stats_.wal_records_replayed = contents.records.size();
         recovery_stats_.torn_tail_bytes = contents.bytes_discarded;
         recovery_stats_.torn_tail_records = contents.records_discarded;
-        wal_.emplace(WalWriter::append_to(path, contents.valid_size));
+        wal_.emplace(WalWriter::append_to(*vfs_, path, contents.valid_size,
+                                          config_.storage_retry));
     } else {
         // Legal crash window: the snapshot was renamed in but the next
         // WAL generation was never created — the snapshot alone is the
         // complete durable state.
-        wal_.emplace(WalWriter::create(path, wal_seq_, config_digest_));
+        wal_.emplace(WalWriter::create(*vfs_, path, wal_seq_, config_digest_,
+                                       config_.storage_retry));
         wal_records_ = 0;
     }
     remove_stale_wals();
 }
 
 void AdmissionController::remove_stale_wals() const {
-    DIR* dir = ::opendir(config_.data_dir.c_str());
-    if (dir == nullptr) return;
     std::vector<std::string> stale;
-    while (const dirent* entry = ::readdir(dir)) {
-        const std::string name = entry->d_name;
+    for (const std::string& name : vfs_->list_dir(config_.data_dir)) {
         if (!name.starts_with("wal-") || !name.ends_with(".log")) continue;
         const std::string digits = name.substr(4, name.size() - 4 - 4);
         if (digits.empty() ||
@@ -184,16 +175,25 @@ void AdmissionController::remove_stale_wals() const {
         if (generation < wal_seq_ && config_.retain_wals) continue;
         stale.push_back(config_.data_dir + "/" + name);
     }
-    ::closedir(dir);
-    for (const std::string& path : stale) ::unlink(path.c_str());
+    for (const std::string& path : stale) {
+        try {
+            vfs_->unlink(path);
+        } catch (const VfsError&) {
+            // Stale-file cleanup is advisory; the next recovery retries.
+        }
+    }
 }
 
 void AdmissionController::release_wals_below(std::uint64_t generation) {
     const common::MutexLock lock(&mu_);
     const std::uint64_t ceiling = std::min(generation, wal_seq_);
     for (std::uint64_t g = release_floor_; g < ceiling; ++g) {
-        const std::string path = wal_path(g);
-        if (file_exists(path)) ::unlink(path.c_str());
+        try {
+            vfs_->unlink(wal_path(g));
+        } catch (const VfsError&) {
+            // An un-releasable acked generation is waste, not danger; the
+            // next recovery's stale-WAL sweep retries.
+        }
     }
     release_floor_ = std::max(release_floor_, ceiling);
 }
@@ -302,7 +302,14 @@ void AdmissionController::shed(const QueueItem& victim) {
     rec.kind = WalRecordKind::kShed;
     rec.seq = victim.seq;
     rec.request = victim.request;
-    append_wal(rec);
+    try {
+        append_wal(rec);
+    } catch (const VfsError& err) {
+        // The shed record never became durable, so nothing becomes
+        // observable either: the queue is untouched and the caller's
+        // submit reports degradation instead of an outcome.
+        enter_degraded_locked("shed WAL append", err);
+    }
     metrics_.shed += 1;
     metrics_.shed_revenue += victim.request.payment;
     mark_covered(victim.seq);
@@ -324,11 +331,18 @@ bool AdmissionController::apply_replicated(const WalRecord& rec) {
             "primaries decide for themselves");
     }
     if (is_covered_locked(rec.seq)) return false;
+    require_storage_healthy_locked("apply_replicated");
     // Durable first, exactly like the primary: the record reaches this
     // standby's own WAL (and its fdatasync returns) before any state
     // change becomes observable. replay_record then re-executes and
     // cross-checks, so a diverged standby dies loudly here.
-    append_wal(rec);
+    try {
+        append_wal(rec);
+    } catch (const VfsError& err) {
+        // Nothing was applied: the record is simply not acked, and the
+        // shipper's go-back-N resync re-delivers it after recovery.
+        enter_degraded_locked("replicated WAL append", err);
+    }
     replay_record(rec, wal_->path());
     if (wal_records_ >= config_.checkpoint_every) checkpoint_locked();
     return true;
@@ -353,6 +367,7 @@ SubmitResult AdmissionController::submit(std::uint64_t seq,
     const common::MutexLock lock(&mu_);
     require_primary("submit");
     if (is_covered_locked(seq)) return SubmitResult::kAlreadyCovered;
+    require_storage_healthy_locked("submit");
     // Uncovered submissions must arrive in stream order — FIFO processing
     // equals seq order, which the recovery protocol relies on.
     VNFR_CHECK(queue_.empty() || seq > queue_.rbegin()->first,
@@ -391,6 +406,7 @@ SubmitResult AdmissionController::submit(std::uint64_t seq,
 std::vector<ProcessedOutcome> AdmissionController::pump(std::size_t max_requests) {
     const common::MutexLock lock(&mu_);
     require_primary("pump");
+    require_storage_healthy_locked("pump");
     return pump_locked(max_requests);
 }
 
@@ -449,19 +465,40 @@ std::vector<ProcessedOutcome> AdmissionController::pump_locked(
                 batch.push_back(it->second);
             }
         }
+        // The scheduler mutates inside decide; checkpoint its state first
+        // so a storage failure below can roll the whole chunk back as if
+        // it was never decided.
+        const core::SchedulerState pre_state = scheduler_->export_state();
+        const std::uint64_t pre_wal_records = wal_records_;
+        const std::uint64_t pre_appends = appends_this_run_;
         const std::vector<core::Decision> decisions = decide_batch(batch);
-        // Durable first: stage the whole group, fdatasync once.
-        for (std::size_t i = 0; i < take; ++i) {
-            WalRecord rec;
-            rec.kind = WalRecordKind::kDecision;
-            rec.seq = seqs[i];
-            rec.request = batch[i];
-            rec.admitted = decisions[i].admitted;
-            rec.reject_reason = decisions[i].reject_reason;
-            if (decisions[i].admitted) rec.sites = decisions[i].placement.sites;
-            stage_wal(rec);
+        try {
+            // Durable first: stage the whole group, fdatasync once.
+            for (std::size_t i = 0; i < take; ++i) {
+                WalRecord rec;
+                rec.kind = WalRecordKind::kDecision;
+                rec.seq = seqs[i];
+                rec.request = batch[i];
+                rec.admitted = decisions[i].admitted;
+                rec.reject_reason = decisions[i].reject_reason;
+                if (decisions[i].admitted) rec.sites = decisions[i].placement.sites;
+                stage_wal(rec);
+            }
+            commit_wal();
+        } catch (const VfsError& err) {
+            // The group's fdatasync never returned, so none of its
+            // outcomes may become observable. Un-decide the chunk
+            // (requests stay queued for after recovery), drop the staged
+            // bytes, and degrade: partial un-synced writes past the
+            // durable prefix are rewound before the next commit — and if
+            // they survive a crash instead, recovery replays them as
+            // durable-but-unacked outcomes, which resubmission skips.
+            scheduler_->import_state(pre_state);
+            wal_->abandon_staged();
+            wal_records_ = pre_wal_records;
+            appends_this_run_ = pre_appends;
+            enter_degraded_locked("WAL group commit", err);
         }
-        commit_wal();
         // Only now — with the group durable — do the outcomes become
         // observable, in stream order.
         queue_.erase(queue_.begin(), std::next(queue_.begin(),
@@ -508,8 +545,18 @@ void AdmissionController::checkpoint() {
 }
 
 void AdmissionController::checkpoint_locked() {
-    VNFR_CHECK(wal_->staged_records() == 0,
-               "checkpoint with uncommitted staged WAL records");
+    try {
+        rotate_checkpoint_locked(build_snapshot_locked());
+    } catch (const VfsError& err) {
+        // Whatever the rotation half-did (a next-generation file, an
+        // unreplaced snapshot) is exactly a legal crash window: recovery's
+        // stale-WAL sweep absorbs it. The live controller, though, can no
+        // longer prove durability — degrade until a rotation succeeds.
+        enter_degraded_locked("checkpoint rotation", err);
+    }
+}
+
+ControllerSnapshot AdmissionController::build_snapshot_locked() const {
     ControllerSnapshot snap;
     snap.scheme = static_cast<std::uint8_t>(scheme_);
     snap.config_digest = config_digest_;
@@ -523,31 +570,101 @@ void AdmissionController::checkpoint_locked() {
     snap.covered_watermark = covered_watermark_;
     snap.covered_sparse.assign(covered_sparse_.begin(), covered_sparse_.end());
     snap.admitted = admitted_;
+    return snap;
+}
 
+void AdmissionController::rotate_checkpoint_locked(const ControllerSnapshot& snap) {
+    VNFR_CHECK(wal_->staged_records() == 0,
+               "checkpoint with uncommitted staged WAL records");
     // Rotation order keeps every crash window recoverable: (1) create the
     // next WAL generation; (2) atomically replace the snapshot, which now
     // references it; (3) drop the old generation. A crash between (1) and
     // (2) recovers from the old snapshot + old WAL (the new file is
     // stale and removed on restart); between (2) and (3) the old WAL is
     // the stale one.
-    WalWriter next = WalWriter::create(wal_path(wal_seq_ + 1), wal_seq_ + 1,
-                                       config_digest_);
+    WalWriter next = WalWriter::create(*vfs_, wal_path(wal_seq_ + 1),
+                                       wal_seq_ + 1, config_digest_,
+                                       config_.storage_retry);
     if (checkpoint_crash_stage_ == 1) {
         checkpoint_crash_stage_ = 0;
         throw CrashInjected(appends_this_run_);
     }
-    save_snapshot(snapshot_path(), snap);
+    save_snapshot(*vfs_, snapshot_path(), snap, config_.storage_retry,
+                  &storage_stats_.transient_retries);
     if (checkpoint_crash_stage_ == 2) {
         checkpoint_crash_stage_ = 0;
         throw CrashInjected(appends_this_run_);
     }
+    storage_stats_.transient_retries += wal_->transient_retries();
     wal_->close();
     // With retention the rotated-out generation stays on disk for the
     // replication shipper; release_wals_below() retires it once acked.
-    if (!config_.retain_wals) ::unlink(wal_path(wal_seq_).c_str());
+    if (!config_.retain_wals) {
+        try {
+            vfs_->unlink(wal_path(wal_seq_));
+        } catch (const VfsError&) {
+            // The snapshot already supersedes the old generation; the
+            // next recovery's stale-WAL sweep retries the unlink.
+        }
+    }
     wal_.emplace(std::move(next));
     ++wal_seq_;
     wal_records_ = 0;
+}
+
+void AdmissionController::enter_degraded_locked(const char* what,
+                                                const VfsError& err) {
+    health_ = StorageHealth::kDegraded;
+    degraded_reason_ = std::string(what) + ": " + err.what();
+    ++storage_stats_.degraded_entries;
+    throw StorageDegradedError("storage degraded — " + degraded_reason_);
+}
+
+void AdmissionController::require_storage_healthy_locked(const char* op) {
+    if (health_ == StorageHealth::kHealthy) return;
+    ++storage_stats_.degraded_refusals;
+    if (config_.degraded_probe_every > 0 &&
+        storage_stats_.degraded_refusals % config_.degraded_probe_every == 0 &&
+        try_recover_locked()) {
+        return;
+    }
+    throw StorageDegradedError(std::string("AdmissionController::") + op +
+                               " refused, storage degraded — " +
+                               degraded_reason_);
+}
+
+bool AdmissionController::try_recover_locked() {
+    if (health_ == StorageHealth::kHealthy) return true;
+    try {
+        // A failed commit may have left un-synced garbage past the
+        // durable WAL prefix; truncate it away so retained generations
+        // end on a clean record boundary for tailers and recovery alike.
+        wal_->repair();
+        // A full rotation is the writability proof: it exercises create,
+        // write, fsync, rename, and directory sync — and leaves the
+        // freshly-checkpointed state as the durable baseline.
+        rotate_checkpoint_locked(build_snapshot_locked());
+    } catch (const VfsError&) {
+        return false;  // still broken; stay degraded
+    }
+    health_ = StorageHealth::kHealthy;
+    degraded_reason_.clear();
+    ++storage_stats_.recoveries;
+    return true;
+}
+
+bool AdmissionController::try_recover_storage() {
+    const common::MutexLock lock(&mu_);
+    return try_recover_locked();
+}
+
+StorageStats AdmissionController::storage_stats() const {
+    const common::MutexLock lock(&mu_);
+    StorageStats stats = storage_stats_;
+    // The live writer's absorbed retries roll into the total at rotation;
+    // count the current generation's on the fly.
+    stats.transient_retries += wal_->transient_retries();
+    return stats;
 }
 
 std::uint64_t AdmissionController::state_digest() const {

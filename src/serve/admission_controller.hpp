@@ -89,6 +89,43 @@ class CrashInjected : public std::runtime_error {
                              " WAL records") {}
 };
 
+/// Thrown instead of accepting work the controller cannot durably log:
+/// after a persistent storage error (ENOSPC, retries-exhausted EIO) the
+/// controller enters degraded read-only mode — already-admitted state
+/// keeps serving, but submit/pump/apply_replicated refuse with this
+/// error until storage recovers (see StorageHealth below).
+class StorageDegradedError : public std::runtime_error {
+  public:
+    explicit StorageDegradedError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/// Storage health of a controller. Degraded means a persistent storage
+/// error interrupted WAL/snapshot durability: no new outcome can be
+/// logged, so none is accepted. Recovery (automatic probes per
+/// ServeConfig::degraded_probe_every, or try_recover_storage()) repairs
+/// the WAL tail and proves writability with a full checkpoint rotation
+/// before the controller admits again. The replication layer treats a
+/// degraded primary as dead — its durable WAL prefix is intact, so
+/// failover promotes the standby exactly as after a crash.
+enum class StorageHealth : std::uint8_t {
+    kHealthy,
+    kDegraded,
+};
+
+/// Counters of the storage fault-handling machinery.
+struct StorageStats {
+    /// Transient storage errors absorbed by bounded retries (WAL commits,
+    /// snapshot writes, WAL creation).
+    std::uint64_t transient_retries{0};
+    /// Times the controller entered degraded read-only mode.
+    std::uint64_t degraded_entries{0};
+    /// Operations refused (with StorageDegradedError) while degraded.
+    std::uint64_t degraded_refusals{0};
+    /// Successful recoveries out of degraded mode.
+    std::uint64_t recoveries{0};
+};
+
 struct ServeConfig {
     /// Directory holding snapshot.bin and wal-<gen>.log. Must exist.
     std::string data_dir;
@@ -120,6 +157,19 @@ struct ServeConfig {
     /// and state advances only through apply_replicated(), until
     /// mark_promoted() flips the controller to primary.
     bool standby{false};
+    /// Storage backend every snapshot/WAL byte routes through; null
+    /// selects the process-wide PosixVfs. The caller keeps it alive for
+    /// the controller's lifetime (fault-injection harnesses pass a
+    /// FaultyVfs here).
+    Vfs* vfs{nullptr};
+    /// Bounded-retry policy for transient storage errors on the WAL
+    /// commit and snapshot paths.
+    StorageRetryPolicy storage_retry{};
+    /// While degraded, every this-many-th refused operation probes
+    /// storage recovery (WAL tail repair + a full checkpoint rotation as
+    /// the writability proof). 0 disables automatic probes — recovery
+    /// then happens only via explicit try_recover_storage() calls.
+    std::size_t degraded_probe_every{16};
 };
 
 /// Which side of a replicated pair this controller currently is.
@@ -279,6 +329,31 @@ class AdmissionController {
     /// Shape digest binding persisted files to this instance + scheme.
     [[nodiscard]] std::uint64_t config_digest() const { return config_digest_; }
 
+    /// The storage backend this controller routes all durable I/O
+    /// through (immutable after construction).
+    [[nodiscard]] Vfs& vfs() const { return *vfs_; }
+
+    [[nodiscard]] StorageHealth storage_health() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return health_;
+    }
+
+    /// Human-readable cause of the current degraded mode (empty when
+    /// healthy).
+    [[nodiscard]] std::string degraded_reason() const VNFR_EXCLUDES(mu_) {
+        const common::MutexLock lock(&mu_);
+        return degraded_reason_;
+    }
+
+    [[nodiscard]] StorageStats storage_stats() const VNFR_EXCLUDES(mu_);
+
+    /// Attempts to leave degraded mode now: repairs the WAL tail (a
+    /// failed commit may have left un-synced garbage past the durable
+    /// prefix) and proves storage writability with a full checkpoint
+    /// rotation. Returns true when the controller is healthy afterwards.
+    /// Never throws on a still-broken disk — the probe just fails.
+    bool try_recover_storage() VNFR_EXCLUDES(mu_);
+
     /// Test hook: throw CrashInjected immediately after the n-th WAL
     /// append from now (1 = crash after the next record). 0 disables.
     void crash_after_records(std::uint64_t n) VNFR_EXCLUDES(mu_) {
@@ -350,6 +425,23 @@ class AdmissionController {
     std::vector<ProcessedOutcome> pump_locked(std::size_t max_requests)
         VNFR_REQUIRES(mu_);
     void checkpoint_locked() VNFR_REQUIRES(mu_);
+    /// Builds the snapshot image of the current state, referencing the
+    /// next WAL generation.
+    [[nodiscard]] ControllerSnapshot build_snapshot_locked() const
+        VNFR_REQUIRES(mu_);
+    /// The raw rotation (create next gen, save snapshot, retire old gen);
+    /// throws VfsError on storage failure — callers decide whether that
+    /// degrades the controller (checkpoint_locked) or just fails a
+    /// recovery probe (try_recover_locked).
+    void rotate_checkpoint_locked(const ControllerSnapshot& snap)
+        VNFR_REQUIRES(mu_);
+    /// Enters degraded read-only mode and throws StorageDegradedError.
+    [[noreturn]] void enter_degraded_locked(const char* what, const VfsError& err)
+        VNFR_REQUIRES(mu_);
+    /// Throws StorageDegradedError when degraded (after counting the
+    /// refusal and, on cadence, probing recovery).
+    void require_storage_healthy_locked(const char* op) VNFR_REQUIRES(mu_);
+    [[nodiscard]] bool try_recover_locked() VNFR_REQUIRES(mu_);
     [[nodiscard]] std::string snapshot_path() const;
     [[nodiscard]] std::string wal_path(std::uint64_t generation) const;
     /// Removes WAL files recovery must not see again: generations above
@@ -363,6 +455,8 @@ class AdmissionController {
     core::Scheme scheme_;
     ServeConfig config_;
     std::uint64_t config_digest_{0};
+    /// Resolved storage backend (config_.vfs or the PosixVfs).
+    Vfs* vfs_{nullptr};
 
     /// One lock for all mutable state: admissions are serialized end to
     /// end (decide -> WAL append -> apply), which is exactly the ordering
@@ -399,6 +493,9 @@ class AdmissionController {
     std::uint64_t release_floor_ VNFR_GUARDED_BY(mu_) = 0;
     ControllerRole role_ VNFR_GUARDED_BY(mu_) = ControllerRole::kPrimary;
     RecoveryStats recovery_stats_ VNFR_GUARDED_BY(mu_);
+    StorageHealth health_ VNFR_GUARDED_BY(mu_) = StorageHealth::kHealthy;
+    std::string degraded_reason_ VNFR_GUARDED_BY(mu_);
+    StorageStats storage_stats_ VNFR_GUARDED_BY(mu_);
 };
 
 /// The shape digest save/load validates against: cloudlet capacities and

@@ -10,6 +10,7 @@
 #include "core/verify.hpp"
 #include "serve/admission_controller.hpp"
 #include "serve/chaos_support.hpp"
+#include "serve/wal_scrubber.hpp"
 #include "serve/wire.hpp"
 
 namespace vnfr::serve {
@@ -91,6 +92,7 @@ ChaosStudyResult run_chaos_study(const core::Instance& instance,
         result.baseline_reload_ok =
             reloaded.state_digest() == result.baseline_digest;
     }
+    result.baseline_scrub_clean = scrub_data_dir(baseline_dir).clean();
 
     // Kill trials. Exhaustive mode walks every crash point of the
     // baseline run; sampled mode draws kill_points of them.
@@ -169,6 +171,7 @@ ChaosStudyResult run_chaos_study(const core::Instance& instance,
             outcome.capacity_ok =
                 core::verify_schedule(instance, assemble_decisions(instance, revived))
                     .ok();
+            outcome.scrub_clean = scrub_data_dir(trial_dir).clean();
         }
 
         if (!outcome.ok()) ++result.failed_trials;

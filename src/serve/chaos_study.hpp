@@ -71,10 +71,15 @@ struct ChaosTrial {
     bool admitted_match{false};  ///< same admitted (seq, id) sequence
     bool no_double_admits{false};
     bool capacity_ok{false};     ///< verify_schedule found no violations
+    /// A read-only WAL scrub of the trial directory after the recovered
+    /// run finished reports zero findings: every retained generation and
+    /// the snapshot re-verify their CRCs and cross-file invariants.
+    bool scrub_clean{false};
 
     [[nodiscard]] bool ok() const {
         return crashed && digest_match && revenue_match && metrics_match &&
-               admitted_match && no_double_admits && capacity_ok;
+               admitted_match && no_double_admits && capacity_ok &&
+               scrub_clean;
     }
 };
 
@@ -89,11 +94,15 @@ struct ChaosStudyResult {
     bool baseline_reload_ok{false};
     /// The baseline itself passes independent schedule verification.
     bool baseline_capacity_ok{false};
+    /// Scrubbing the baseline's directory after its final checkpoint
+    /// reports zero findings.
+    bool baseline_scrub_clean{false};
     std::vector<ChaosTrial> trials;
     std::size_t failed_trials{0};
 
     [[nodiscard]] bool ok() const {
-        return baseline_reload_ok && baseline_capacity_ok && failed_trials == 0;
+        return baseline_reload_ok && baseline_capacity_ok &&
+               baseline_scrub_clean && failed_trials == 0;
     }
 };
 

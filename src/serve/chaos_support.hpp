@@ -17,6 +17,7 @@
 
 #include "core/instance.hpp"
 #include "serve/admission_controller.hpp"
+#include "serve/vfs.hpp"
 
 namespace vnfr::serve::chaos {
 
@@ -38,7 +39,7 @@ inline void fresh_state_dir(const std::string& path) {
         }
     }
     ::closedir(dir);
-    for (const std::string& file : doomed) ::unlink(file.c_str());
+    for (const std::string& file : doomed) posix_vfs().unlink(file);
 }
 
 /// The WAL file in `path` with the highest generation number (the live

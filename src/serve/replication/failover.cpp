@@ -1,11 +1,10 @@
 #include "serve/replication/failover.hpp"
 
-#include <dirent.h>
-
 #include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "serve/vfs.hpp"
 #include "serve/wal.hpp"
 #include "serve/wire.hpp"
 
@@ -17,13 +16,11 @@ std::string wal_path(const std::string& dir, std::uint64_t generation) {
     return dir + "/wal-" + std::to_string(generation) + ".log";
 }
 
-/// Sorted WAL generation numbers present in `dir`.
-std::vector<std::uint64_t> list_generations(const std::string& dir) {
+/// Sorted WAL generation numbers present in `dir` on `vfs`.
+std::vector<std::uint64_t> list_generations(Vfs& vfs, const std::string& dir) {
     std::vector<std::uint64_t> gens;
-    DIR* handle = ::opendir(dir.c_str());
-    if (handle == nullptr) return gens;
-    while (const dirent* entry = ::readdir(handle)) {
-        const std::string name = entry->d_name;
+    if (!vfs.dir_exists(dir)) return gens;
+    for (const std::string& name : vfs.list_dir(dir)) {
         if (!name.starts_with("wal-") || !name.ends_with(".log")) continue;
         const std::string digits = name.substr(4, name.size() - 8);
         if (digits.empty()) continue;
@@ -38,7 +35,6 @@ std::vector<std::uint64_t> list_generations(const std::string& dir) {
         }
         if (numeric) gens.push_back(gen);
     }
-    ::closedir(handle);
     std::sort(gens.begin(), gens.end());
     return gens;
 }
@@ -46,12 +42,15 @@ std::vector<std::uint64_t> list_generations(const std::string& dir) {
 }  // namespace
 
 FailoverCoordinator::FailoverCoordinator(std::string primary_data_dir)
-    : primary_dir_(std::move(primary_data_dir)) {}
+    : FailoverCoordinator(std::move(primary_data_dir), posix_vfs()) {}
+
+FailoverCoordinator::FailoverCoordinator(std::string primary_data_dir, Vfs& vfs)
+    : primary_dir_(std::move(primary_data_dir)), vfs_(&vfs) {}
 
 PromotionReport FailoverCoordinator::promote(StandbyController& standby) {
     PromotionReport report;
     const ShipAck mark = standby.watermark();
-    const std::vector<std::uint64_t> gens = list_generations(primary_dir_);
+    const std::vector<std::uint64_t> gens = list_generations(*vfs_, primary_dir_);
     if (!gens.empty() && mark.generation <= gens.back()) {
         const std::uint64_t top = gens.back();
         // Releases are gated on acks, so every generation from the
@@ -71,7 +70,7 @@ PromotionReport FailoverCoordinator::promote(StandbyController& standby) {
             const WalReadMode mode =
                 g == top ? WalReadMode::kRecover : WalReadMode::kStrict;
             const std::string path = wal_path(primary_dir_, g);
-            const WalContents contents = read_wal(path, mode);
+            const WalContents contents = read_wal(*vfs_, path, mode);
             if (contents.wal_seq != g) {
                 throw CorruptStateError(path, 0,
                                         "WAL header generation " +

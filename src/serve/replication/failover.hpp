@@ -22,6 +22,10 @@
 
 #include "serve/replication/standby.hpp"
 
+namespace vnfr::serve {
+class Vfs;
+}  // namespace vnfr::serve
+
 namespace vnfr::serve::replication {
 
 struct PromotionReport {
@@ -43,8 +47,12 @@ struct PromotionReport {
 class FailoverCoordinator {
   public:
     /// `primary_data_dir` is the dead primary's state directory; its
-    /// files must be quiescent (the primary process is gone).
+    /// files must be quiescent (the primary process is gone — a primary
+    /// that merely degraded into read-only mode counts as gone, since it
+    /// refuses admissions and will never append again). `vfs` is the
+    /// storage the primary's files live on; defaults to the real disk.
     explicit FailoverCoordinator(std::string primary_data_dir);
+    FailoverCoordinator(std::string primary_data_dir, Vfs& vfs);
 
     /// Catches `standby` up from the primary's durable WAL tail and
     /// promotes it. Throws ReplicationGapError if a generation between
@@ -57,6 +65,7 @@ class FailoverCoordinator {
 
   private:
     std::string primary_dir_;
+    Vfs* vfs_;
 };
 
 }  // namespace vnfr::serve::replication

@@ -13,6 +13,7 @@
 #include "core/verify.hpp"
 #include "serve/admission_controller.hpp"
 #include "serve/chaos_support.hpp"
+#include "serve/vfs.hpp"
 #include "serve/replication/failover.hpp"
 #include "serve/replication/standby.hpp"
 #include "serve/replication/wal_shipper.hpp"
@@ -276,6 +277,109 @@ FailoverChaosResult run_failover_chaos_study(const core::Instance& instance,
         }
 
         if (!outcome.ok()) ++result.failed_trials;
+        result.trials.push_back(outcome);
+    }
+
+    // Degraded-primary trials: the primary's disk fills mid-run
+    // (persistent ENOSPC on every write), the controller degrades into
+    // read-only mode instead of dying, and the study fails over from it
+    // exactly as from a dead host — ship the durable tail it can still
+    // serve, promote the standby from its disk image, finish the trace on
+    // the promoted controller, and hold the same bit-identical gates.
+    for (std::size_t trial = 0; trial < config.degraded_primary_trials; ++trial) {
+        common::Rng rng = common::stream_rng(config.master_seed, 5000 + trial);
+        FailoverTrial outcome;
+        outcome.faulty_transport = config.transport_faults && trial % 2 == 1;
+
+        FaultyVfs disk;  // the primary's private, about-to-fill disk
+        fresh_state_dir(standby_dir);
+        ShipTransport transport(config.transport_capacity);
+        if (outcome.faulty_transport) {
+            TransportFaultPlan plan;
+            plan.seed = config.master_seed ^ (0xDE64ADE0ULL + trial);
+            plan.drop = 0.08;
+            plan.truncate = 0.08;
+            plan.duplicate = 0.08;
+            plan.reorder = 0.08;
+            transport.set_fault_plan(plan);
+        }
+        ServeConfig scfg = standby_serve;
+        scfg.data_dir = standby_dir;
+        StandbyController standby(instance, config.scheme, scfg, transport);
+
+        ServeConfig pcfg = primary_serve;
+        pcfg.data_dir = primary_dir;
+        pcfg.vfs = &disk;
+        AdmissionController primary(instance, config.scheme, pcfg);
+        WalShipper shipper(primary, primary_dir, transport);
+        // Arm the disk after a randomized prefix of successful writes,
+        // kept well below the trace's write count so the degradation
+        // always fires mid-stream. ENOSPC is persistent: a full disk does
+        // not heal between retries, so the controller must degrade rather
+        // than spin.
+        const std::int64_t writes_floor = static_cast<std::int64_t>(
+            result.baseline_outcomes /
+            (2 * std::max<std::size_t>(1, config.group_commit)));
+        const std::uint64_t fail_from = static_cast<std::uint64_t>(
+            rng.uniform_int(2, std::max<std::int64_t>(3, writes_floor)));
+        disk.script_fault(VfsOp::kWrite, fail_from, -1, ENOSPC, false);
+
+        DriveProgress progress;
+        std::size_t steps = 0;
+        try {
+            drive_with_tick(primary, requests, 0, false, drain_every, progress,
+                            [&] {
+                                if (++steps % ship_every == 0) {
+                                    shipper.pump();
+                                    standby.poll();
+                                }
+                            });
+        } catch (const StorageDegradedError&) {
+            outcome.crashed = true;  // degraded counts as dead for failover
+            outcome.degraded =
+                primary.storage_health() == StorageHealth::kDegraded;
+        }
+        outcome.submitted_at_crash = progress.submitted;
+
+        // The degraded primary still serves reads; drain everything it
+        // had made durable before the disk filled.
+        settle_link(shipper, standby, transport);
+        add_stats(result.transport_totals, transport.stats());
+        result.total_resync_rewinds += shipper.stats().resync_rewinds;
+        outcome.standby_applied_at_kill = standby.stats().records_applied;
+
+        if (outcome.crashed && outcome.degraded) {
+            FailoverCoordinator coordinator(primary_dir, primary.vfs());
+            const PromotionReport report = coordinator.promote(standby);
+            outcome.disk_records_applied = report.disk_records_applied;
+            outcome.disk_records_skipped = report.disk_records_skipped;
+            outcome.promote_torn_tail_bytes = report.torn_tail_bytes;
+            result.total_disk_records_applied += report.disk_records_applied;
+
+            AdmissionController& promoted = standby.controller();
+            rebuild_queue(promoted, requests, progress.submitted);
+            DriveProgress rest;
+            drive(promoted, requests, progress.submitted, progress.in_drain,
+                  drain_every, rest);
+
+            outcome.digest_match =
+                promoted.state_digest() == result.baseline_digest;
+            const ServeMetrics& m = promoted.metrics();
+            outcome.revenue_match =
+                m.revenue == result.baseline_metrics.revenue &&
+                m.shed_revenue == result.baseline_metrics.shed_revenue;
+            outcome.metrics_match = metrics_equal(m, result.baseline_metrics);
+            outcome.admitted_match =
+                same_admitted(promoted.admitted_records(), baseline_admitted);
+            outcome.no_double_admits =
+                unique_admitted(promoted.admitted_records());
+            outcome.capacity_ok =
+                core::verify_schedule(instance,
+                                      assemble_decisions(instance, promoted))
+                    .ok();
+        }
+
+        if (!outcome.ok() || !outcome.degraded) ++result.failed_trials;
         result.trials.push_back(outcome);
     }
     return result;

@@ -50,6 +50,15 @@ struct FailoverChaosConfig {
     /// Additionally truncate the primary's newest WAL by a few bytes on
     /// every other crashed trial, simulating a torn final append.
     bool torn_tails{true};
+    /// Extra trials in which the primary does not die but DEGRADES: its
+    /// storage (a FaultyVfs) starts returning persistent ENOSPC on
+    /// writes, the controller enters read-only degraded mode, and the
+    /// study treats it exactly like a dead primary — final ship of the
+    /// durable tail, promotion of the standby from the primary's disk,
+    /// and the trace finishing on the promoted controller under the same
+    /// bit-identical gates. 0 disables (the default keeps older trial
+    /// counts stable).
+    std::size_t degraded_primary_trials{0};
     /// Scratch directory; the study creates and reuses subdirectories.
     std::string work_dir;
 };
@@ -63,6 +72,9 @@ struct FailoverTrial {
     int checkpoint_crash_stage{0};
     bool faulty_transport{false};
     bool crashed{false};  ///< the injected kill actually fired
+    /// The "kill" was a storage degradation, not a process death: the
+    /// primary survived in read-only mode and was failed over from.
+    bool degraded{false};
     bool torn_tail_applied{false};
     std::uint64_t truncated_bytes{0};
     std::size_t submitted_at_crash{0};

@@ -44,12 +44,12 @@ std::size_t WalShipper::pump() {
     // closed by a rotate frame so the standby advances in lockstep.
     while (cursor_gen_ < pos.generation) {
         const std::string path = wal_path(data_dir_, cursor_gen_);
-        if (!file_exists(path)) {
+        if (!file_exists(primary_->vfs(), path)) {
             throw ReplicationGapError(cursor_gen_,
                                       "retained generation missing before the "
                                       "standby acknowledged it");
         }
-        const std::string bytes = read_file(path);
+        const std::string bytes = read_file(primary_->vfs(), path);
         if (!ship_slice_locked(bytes, bytes.size(), &frames)) return frames;
         ShipFrame rotate;
         rotate.kind = ShipFrameKind::kRotate;
@@ -67,10 +67,10 @@ std::size_t WalShipper::pump() {
     // already fdatasync'd and stable even while the primary appends.
     if (cursor_off_ < pos.durable_bytes) {
         const std::string path = wal_path(data_dir_, cursor_gen_);
-        if (!file_exists(path)) {
+        if (!file_exists(primary_->vfs(), path)) {
             throw ReplicationGapError(cursor_gen_, "live generation missing");
         }
-        const std::string bytes = read_file(path);
+        const std::string bytes = read_file(primary_->vfs(), path);
         const std::uint64_t limit = std::min<std::uint64_t>(bytes.size(),
                                                             pos.durable_bytes);
         ship_slice_locked(bytes, limit, &frames);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "serve/vfs.hpp"
+
 namespace vnfr::serve {
 
 namespace {
@@ -193,12 +195,26 @@ ControllerSnapshot decode_snapshot(std::string_view bytes, const std::string& la
     return snap;
 }
 
+void save_snapshot(Vfs& vfs, const std::string& path,
+                   const ControllerSnapshot& snap,
+                   const StorageRetryPolicy& retry,
+                   std::uint64_t* transient_retries) {
+    const std::string bytes = encode_snapshot(snap);
+    with_storage_retries(
+        vfs, retry, [&] { atomic_write_file(vfs, path, bytes); },
+        transient_retries);
+}
+
 void save_snapshot(const std::string& path, const ControllerSnapshot& snap) {
-    atomic_write_file(path, encode_snapshot(snap));
+    save_snapshot(posix_vfs(), path, snap, StorageRetryPolicy{});
+}
+
+ControllerSnapshot load_snapshot(Vfs& vfs, const std::string& path) {
+    return decode_snapshot(read_file(vfs, path), path);
 }
 
 ControllerSnapshot load_snapshot(const std::string& path) {
-    return decode_snapshot(read_file(path), path);
+    return load_snapshot(posix_vfs(), path);
 }
 
 }  // namespace vnfr::serve

@@ -67,11 +67,25 @@ struct ControllerSnapshot {
 [[nodiscard]] ControllerSnapshot decode_snapshot(std::string_view bytes,
                                                  const std::string& label);
 
-/// Atomic save to `path` (see file header for the crash-consistency
-/// protocol).
+class Vfs;
+struct StorageRetryPolicy;
+
+/// Atomic save to `path` through `vfs` (see file header for the
+/// crash-consistency protocol). Transient storage errors are retried per
+/// `retry`; `transient_retries`, when given, is incremented once per
+/// retry taken.
+void save_snapshot(Vfs& vfs, const std::string& path,
+                   const ControllerSnapshot& snap,
+                   const StorageRetryPolicy& retry,
+                   std::uint64_t* transient_retries = nullptr);
+
+/// save_snapshot through the process-wide PosixVfs.
 void save_snapshot(const std::string& path, const ControllerSnapshot& snap);
 
-/// Loads and validates the snapshot at `path`.
+/// Loads and validates the snapshot at `path` through `vfs`.
+[[nodiscard]] ControllerSnapshot load_snapshot(Vfs& vfs, const std::string& path);
+
+/// load_snapshot through the process-wide PosixVfs.
 [[nodiscard]] ControllerSnapshot load_snapshot(const std::string& path);
 
 }  // namespace vnfr::serve

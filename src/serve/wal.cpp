@@ -1,11 +1,6 @@
 #include "serve/wal.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cmath>
-#include <system_error>
 #include <utility>
 
 namespace vnfr::serve {
@@ -17,22 +12,6 @@ constexpr std::uint64_t kHeaderSize = kWalHeaderSize;
 /// No legal record comes close to this; a larger length prefix is either
 /// a torn tail (if it runs past EOF) or corruption.
 constexpr std::uint32_t kMaxRecordBytes = 1U << 20;
-
-[[noreturn]] void throw_errno(const std::string& path, const char* op) {
-    throw std::system_error(errno, std::generic_category(), path + ": " + op);
-}
-
-void write_all(int fd, const std::string& path, std::string_view bytes) {
-    std::size_t done = 0;
-    while (done < bytes.size()) {
-        const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            throw_errno(path, "write");
-        }
-        done += static_cast<std::size_t>(n);
-    }
-}
 
 std::string encode_payload(const WalRecord& record) {
     WireWriter w;
@@ -166,8 +145,12 @@ std::vector<WalRecord> decode_wal_record_stream(std::string_view bytes,
     return records;
 }
 
+WalContents read_wal(Vfs& vfs, const std::string& path, WalReadMode mode) {
+    return parse_wal_bytes(read_file(vfs, path), path, mode);
+}
+
 WalContents read_wal(const std::string& path, WalReadMode mode) {
-    return parse_wal_bytes(read_file(path), path, mode);
+    return read_wal(posix_vfs(), path, mode);
 }
 
 WalContents parse_wal_bytes(std::string_view bytes, const std::string& path,
@@ -253,38 +236,48 @@ WalContents parse_wal_bytes(std::string_view bytes, const std::string& path,
     return out;
 }
 
+WalWriter WalWriter::create(Vfs& vfs, std::string path, std::uint64_t wal_seq,
+                            std::uint64_t config_digest,
+                            const StorageRetryPolicy& retry) {
+    const std::string header = encode_header(wal_seq, config_digest);
+    std::uint64_t retries = 0;
+    with_storage_retries(
+        vfs, retry, [&] { atomic_write_file(vfs, path, header); }, &retries);
+    VfsFdGuard guard(vfs, vfs.open_append(path));
+    WalWriter writer(vfs, retry, std::move(path), guard.release(), kHeaderSize);
+    writer.transient_retries_ = retries;
+    return writer;
+}
+
 WalWriter WalWriter::create(std::string path, std::uint64_t wal_seq,
                             std::uint64_t config_digest) {
-    atomic_write_file(path, encode_header(wal_seq, config_digest));
-    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-    if (fd < 0) throw_errno(path, "open for append");
-    return WalWriter(std::move(path), fd, kHeaderSize);
+    return create(posix_vfs(), std::move(path), wal_seq, config_digest);
+}
+
+WalWriter WalWriter::append_to(Vfs& vfs, std::string path,
+                               std::uint64_t valid_size,
+                               const StorageRetryPolicy& retry) {
+    VfsFdGuard guard(vfs, vfs.open_append(path));
+    // Drop any torn tail before new appends so the file stays a clean
+    // sequence of intact records (O_APPEND then lands writes at the new
+    // end of file).
+    vfs.ftruncate(guard.get(), path, valid_size);
+    return WalWriter(vfs, retry, std::move(path), guard.release(), valid_size);
 }
 
 WalWriter WalWriter::append_to(std::string path, std::uint64_t valid_size) {
-    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
-    if (fd < 0) throw_errno(path, "open for append");
-    // Drop any torn tail before new appends so the file stays a clean
-    // sequence of intact records.
-    if (::ftruncate(fd, static_cast<off_t>(valid_size)) != 0) {
-        const int saved = errno;
-        ::close(fd);
-        errno = saved;
-        throw_errno(path, "ftruncate");
-    }
-    if (::lseek(fd, 0, SEEK_END) < 0) {
-        const int saved = errno;
-        ::close(fd);
-        errno = saved;
-        throw_errno(path, "lseek");
-    }
-    return WalWriter(std::move(path), fd, valid_size);
+    return append_to(posix_vfs(), std::move(path), valid_size);
 }
 
 WalWriter::WalWriter(WalWriter&& other) noexcept
-    : path_(std::move(other.path_)),
+    : vfs_(other.vfs_),
+      retry_(other.retry_),
+      path_(std::move(other.path_)),
       fd_(other.fd_),
       size_(other.size_),
+      synced_size_(other.synced_size_),
+      dirty_(other.dirty_),
+      transient_retries_(other.transient_retries_),
       staged_(std::move(other.staged_)),
       staged_records_(other.staged_records_) {
     other.fd_ = -1;
@@ -294,9 +287,14 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
 WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     if (this != &other) {
         close();
+        vfs_ = other.vfs_;
+        retry_ = other.retry_;
         path_ = std::move(other.path_);
         fd_ = other.fd_;
         size_ = other.size_;
+        synced_size_ = other.synced_size_;
+        dirty_ = other.dirty_;
+        transient_retries_ = other.transient_retries_;
         staged_ = std::move(other.staged_);
         staged_records_ = other.staged_records_;
         other.fd_ = -1;
@@ -309,7 +307,7 @@ WalWriter::~WalWriter() { close(); }
 
 void WalWriter::close() {
     if (fd_ >= 0) {
-        ::close(fd_);
+        vfs_->close(fd_);
         fd_ = -1;
     }
 }
@@ -319,11 +317,13 @@ std::uint64_t WalWriter::append(const WalRecord& record) {
     if (staged_records_ != 0) {
         throw std::logic_error("WalWriter::append with records staged — commit() first");
     }
-    const std::uint64_t at = size_;
-    const std::string framed = encode_wal_record(record);
-    write_all(fd_, path_, framed);
-    if (::fdatasync(fd_) != 0) throw_errno(path_, "fdatasync");
-    size_ += framed.size();
+    const std::uint64_t at = stage(record);
+    try {
+        commit();
+    } catch (...) {
+        abandon_staged();
+        throw;
+    }
     return at;
 }
 
@@ -340,10 +340,54 @@ std::uint64_t WalWriter::stage(const WalRecord& record) {
 void WalWriter::commit() {
     if (staged_records_ == 0) return;
     if (fd_ < 0) throw std::logic_error("WalWriter::commit on a closed writer");
-    write_all(fd_, path_, staged_);
-    if (::fdatasync(fd_) != 0) throw_errno(path_, "fdatasync");
+    std::uint64_t backoff = retry_.initial_backoff_micros;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            if (dirty_) {
+                // A previous failed attempt may have written part of the
+                // group: rewind to the durable prefix so the rewrite
+                // cannot duplicate records.
+                vfs_->ftruncate(fd_, path_, synced_size_);
+                dirty_ = false;
+            }
+            dirty_ = true;
+            vfs_->write_all(fd_, path_, staged_);
+            vfs_->fdatasync(fd_, path_);
+            dirty_ = false;
+            break;
+        } catch (const VfsError& err) {
+            if (!err.transient() || attempt >= retry_.max_attempts) throw;
+            ++transient_retries_;
+            vfs_->sleep_for_micros(backoff);
+            const double next = static_cast<double>(backoff) * retry_.multiplier;
+            backoff = next > static_cast<double>(retry_.max_backoff_micros)
+                          ? retry_.max_backoff_micros
+                          : static_cast<std::uint64_t>(next);
+        }
+    }
+    synced_size_ = size_;
     staged_.clear();
     staged_records_ = 0;
+}
+
+void WalWriter::abandon_staged() {
+    size_ -= staged_.size();
+    staged_.clear();
+    staged_records_ = 0;
+    // A failed commit may have externalized part of the abandoned group.
+    dirty_ = true;
+}
+
+void WalWriter::repair() {
+    if (fd_ < 0) throw std::logic_error("WalWriter::repair on a closed writer");
+    if (staged_records_ != 0) {
+        throw std::logic_error("WalWriter::repair with records staged — commit() first");
+    }
+    if (!dirty_) return;
+    vfs_->ftruncate(fd_, path_, synced_size_);
+    vfs_->fdatasync(fd_, path_);
+    size_ = synced_size_;
+    dirty_ = false;
 }
 
 }  // namespace vnfr::serve

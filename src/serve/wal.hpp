@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "serve/vfs.hpp"
 #include "serve/wire.hpp"
 #include "workload/request.hpp"
 
@@ -79,7 +80,12 @@ struct WalContents {
     std::uint64_t valid_size{0};
 };
 
-/// Parses the WAL at `path`. Throws CorruptStateError per `mode` above.
+/// Parses the WAL at `path` through `vfs`. Throws CorruptStateError per
+/// `mode` above.
+[[nodiscard]] WalContents read_wal(Vfs& vfs, const std::string& path,
+                                   WalReadMode mode);
+
+/// read_wal through the process-wide PosixVfs.
 [[nodiscard]] WalContents read_wal(const std::string& path, WalReadMode mode);
 
 /// Parses an in-memory WAL image (header + framed records). `label`
@@ -90,7 +96,7 @@ struct WalContents {
                                           const std::string& label,
                                           WalReadMode mode);
 
-/// Appender over one WAL generation. All writes go through POSIX fds;
+/// Appender over one WAL generation. All writes go through a Vfs;
 /// append() fdatasyncs per record (the durability contract recovery
 /// relies on), while stage()/commit() batch several records into one
 /// write + one fdatasync (group commit). Staged records live only in
@@ -100,16 +106,35 @@ struct WalContents {
 /// resubmitted). A crash *during* the commit write can leave a prefix of
 /// the group on disk: whole records followed by at most one torn record
 /// at EOF, the same shape WalReadMode::kRecover already handles.
+///
+/// Transient write/sync errors (VfsError with transient() true) are
+/// retried per the StorageRetryPolicy, rewinding the file to the last
+/// durably synced size before every rewrite so a short write cannot
+/// duplicate bytes. When retries are exhausted or the error is
+/// persistent (ENOSPC), the error propagates with the file left dirty:
+/// the on-disk tail past durable_size() is garbage until repair() — or
+/// the next successful commit, which rewinds first — cleans it up.
 class WalWriter {
   public:
     /// Creates `path` with a fresh header (atomically: the header is
-    /// written to a temp file and renamed in). Fails if nothing can be
-    /// written durably.
+    /// written to a temp file and renamed in) through `vfs`. Fails if
+    /// nothing can be written durably.
+    static WalWriter create(Vfs& vfs, std::string path, std::uint64_t wal_seq,
+                            std::uint64_t config_digest,
+                            const StorageRetryPolicy& retry = {});
+
+    /// create() through the process-wide PosixVfs.
     static WalWriter create(std::string path, std::uint64_t wal_seq,
                             std::uint64_t config_digest);
 
-    /// Opens an existing WAL for appending after recovery, truncating it
-    /// to `valid_size` first (dropping any torn tail read_wal reported).
+    /// Opens an existing WAL for appending after recovery through `vfs`,
+    /// truncating it to `valid_size` first (dropping any torn tail
+    /// read_wal reported).
+    static WalWriter append_to(Vfs& vfs, std::string path,
+                               std::uint64_t valid_size,
+                               const StorageRetryPolicy& retry = {});
+
+    /// append_to() through the process-wide PosixVfs.
     static WalWriter append_to(std::string path, std::uint64_t valid_size);
 
     WalWriter(WalWriter&&) noexcept;
@@ -134,15 +159,34 @@ class WalWriter {
     /// staged.
     void commit();
 
+    /// Drops every staged-but-uncommitted record (after a failed commit
+    /// whose group the caller will not retry: the controller rolls its
+    /// in-memory state back and re-sheds the group instead). Marks the
+    /// file dirty — a failed commit may have written part of the group.
+    void abandon_staged();
+
     /// Records staged since the last commit().
     [[nodiscard]] std::size_t staged_records() const { return staged_records_; }
 
-    /// Bytes of the file that are durably committed: logical size minus
-    /// staged-but-uncommitted bytes. A tailer may ship exactly this
-    /// prefix — staged bytes are not yet externalized, let alone durable.
-    [[nodiscard]] std::uint64_t durable_size() const {
-        return size_ - staged_.size();
+    /// Bytes of the file that are durably committed (synced). A tailer
+    /// may ship exactly this prefix — staged bytes are not yet
+    /// externalized, let alone durable, and a failed commit's partial
+    /// write past this point is garbage awaiting rewind.
+    [[nodiscard]] std::uint64_t durable_size() const { return synced_size_; }
+
+    /// True when a failed commit may have left bytes past durable_size()
+    /// on disk; the next commit (or repair()) rewinds them first.
+    [[nodiscard]] bool dirty() const { return dirty_; }
+
+    /// Transient storage errors absorbed by retries so far.
+    [[nodiscard]] std::uint64_t transient_retries() const {
+        return transient_retries_;
     }
+
+    /// Truncates the file back to durable_size(), discarding the partial
+    /// garbage a failed commit may have written. No-op when clean.
+    /// Requires nothing staged.
+    void repair();
 
     [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -150,13 +194,22 @@ class WalWriter {
     void close();
 
   private:
-    WalWriter(std::string path, int fd, std::uint64_t size)
-        : path_(std::move(path)), fd_(fd), size_(size) {}
+    WalWriter(Vfs& vfs, const StorageRetryPolicy& retry, std::string path,
+              int fd, std::uint64_t size)
+        : vfs_(&vfs), retry_(retry), path_(std::move(path)), fd_(fd),
+          size_(size), synced_size_(size) {}
 
+    Vfs* vfs_;
+    StorageRetryPolicy retry_;
     std::string path_;
     int fd_{-1};
     /// Logical end of file including staged-but-uncommitted bytes.
     std::uint64_t size_{0};
+    /// Durably synced prefix length (never counts partial failed writes).
+    std::uint64_t synced_size_{0};
+    /// A failed commit may have left garbage past synced_size_ on disk.
+    bool dirty_{false};
+    std::uint64_t transient_retries_{0};
     std::string staged_;  ///< framed bytes awaiting commit()
     std::size_t staged_records_{0};
 };

@@ -1,13 +1,10 @@
 #include "serve/wire.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <array>
 #include <bit>
 #include <cerrno>
-#include <system_error>
+
+#include "serve/vfs.hpp"
 
 namespace vnfr::serve {
 
@@ -30,10 +27,6 @@ std::array<std::uint32_t, 256> make_crc_table() {
 const std::array<std::uint32_t, 256>& crc_table() {
     static const std::array<std::uint32_t, 256> table = make_crc_table();
     return table;
-}
-
-[[noreturn]] void throw_errno(const std::string& path, const char* op) {
-    throw std::system_error(errno, std::generic_category(), path + ": " + op);
 }
 
 }  // namespace
@@ -119,82 +112,65 @@ void WireReader::require_end(const char* what) const {
     }
 }
 
-std::string read_file(const std::string& path) {
-    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) {
-        if (errno == ENOENT) {
+std::string read_file(Vfs& vfs, const std::string& path) {
+    try {
+        return vfs.read_file(path);
+    } catch (const VfsError& err) {
+        if (err.code() == ENOENT) {
             throw CorruptStateError(path, 0, "file does not exist");
         }
-        throw_errno(path, "open");
-    }
-    std::string out;
-    char buf[1 << 16];
-    for (;;) {
-        const ssize_t n = ::read(fd, buf, sizeof buf);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            const int saved = errno;
-            ::close(fd);
-            errno = saved;
-            throw_errno(path, "read");
-        }
-        if (n == 0) break;
-        out.append(buf, static_cast<std::size_t>(n));
-    }
-    ::close(fd);
-    return out;
-}
-
-namespace {
-
-void write_all(int fd, const std::string& path, std::string_view bytes) {
-    std::size_t done = 0;
-    while (done < bytes.size()) {
-        const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            throw_errno(path, "write");
-        }
-        done += static_cast<std::size_t>(n);
-    }
-}
-
-void fsync_parent_dir(const std::string& path) {
-    const std::size_t slash = path.find_last_of('/');
-    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-    if (fd < 0) throw_errno(dir, "open directory");
-    if (::fsync(fd) != 0) {
-        const int saved = errno;
-        ::close(fd);
-        errno = saved;
-        throw_errno(dir, "fsync directory");
-    }
-    ::close(fd);
-}
-
-}  // namespace
-
-void atomic_write_file(const std::string& path, std::string_view bytes) {
-    const std::string tmp = path + ".tmp";
-    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd < 0) throw_errno(tmp, "open");
-    try {
-        write_all(fd, tmp, bytes);
-        if (::fsync(fd) != 0) throw_errno(tmp, "fsync");
-    } catch (...) {
-        ::close(fd);
-        ::unlink(tmp.c_str());
         throw;
     }
-    if (::close(fd) != 0) throw_errno(tmp, "close");
-    if (::rename(tmp.c_str(), path.c_str()) != 0) throw_errno(path, "rename");
-    fsync_parent_dir(path);
+}
+
+std::string read_file(const std::string& path) {
+    return read_file(posix_vfs(), path);
+}
+
+void atomic_write_file(Vfs& vfs, const std::string& path, std::string_view bytes) {
+    const std::string tmp = path + ".tmp";
+    {
+        VfsFdGuard fd(vfs, vfs.create_truncate(tmp));
+        try {
+            vfs.write_all(fd.get(), tmp, bytes);
+            vfs.fsync(fd.get(), tmp);
+        } catch (const PowerLossInjected&) {
+            throw;  // the simulated process is gone; no cleanup runs
+        } catch (...) {
+            fd.close();
+            try {
+                vfs.unlink(tmp);
+            } catch (const VfsError&) {
+                // Best-effort cleanup; the original error matters more.
+            }
+            throw;
+        }
+    }
+    try {
+        vfs.rename(tmp, path);
+    } catch (const PowerLossInjected&) {
+        throw;
+    } catch (...) {
+        try {
+            vfs.unlink(tmp);
+        } catch (const VfsError&) {
+            // Best-effort cleanup; the original error matters more.
+        }
+        throw;
+    }
+    vfs.fsync_parent_dir(path);
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+    atomic_write_file(posix_vfs(), path, bytes);
+}
+
+bool file_exists(Vfs& vfs, const std::string& path) {
+    return vfs.file_exists(path);
 }
 
 bool file_exists(const std::string& path) {
-    struct stat st{};
-    return ::stat(path.c_str(), &st) == 0;
+    return posix_vfs().file_exists(path);
 }
 
 }  // namespace vnfr::serve

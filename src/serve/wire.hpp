@@ -94,17 +94,30 @@ class WireReader {
     std::size_t pos_{0};
 };
 
-/// Reads a whole file into memory. Throws std::system_error on IO errors
-/// and CorruptStateError (offset 0) if the file does not exist.
+class Vfs;
+
+/// Reads a whole file into memory through `vfs`. Throws VfsError on IO
+/// errors and CorruptStateError (offset 0) if the file does not exist.
+[[nodiscard]] std::string read_file(Vfs& vfs, const std::string& path);
+
+/// read_file through the process-wide PosixVfs.
 [[nodiscard]] std::string read_file(const std::string& path);
 
-/// Crash-consistent whole-file replace: writes `bytes` to `path + ".tmp"`,
-/// fsyncs it, renames over `path`, then fsyncs the parent directory.
-/// After a crash anywhere in the sequence, `path` holds either the old
-/// or the new content in full, never a mix.
+/// Crash-consistent whole-file replace through `vfs`: writes `bytes` to
+/// `path + ".tmp"`, fsyncs it, renames over `path`, then fsyncs the
+/// parent directory. After a crash anywhere in the sequence, `path`
+/// holds either the old or the new content in full, never a mix. On
+/// failure the temporary file is cleaned up (best effort) and no fd
+/// leaks; failures throw VfsError.
+void atomic_write_file(Vfs& vfs, const std::string& path, std::string_view bytes);
+
+/// atomic_write_file through the process-wide PosixVfs.
 void atomic_write_file(const std::string& path, std::string_view bytes);
 
-/// True when `path` exists (any file type).
+/// True when `path` exists in `vfs` (any file type).
+[[nodiscard]] bool file_exists(Vfs& vfs, const std::string& path);
+
+/// file_exists through the process-wide PosixVfs.
 [[nodiscard]] bool file_exists(const std::string& path);
 
 }  // namespace vnfr::serve

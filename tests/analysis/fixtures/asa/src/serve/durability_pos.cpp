@@ -1,6 +1,8 @@
 // Positive fixture for the vnfr-asa durability-order rules. Lives under
 // src/serve/ in the fixture tree — the scope where crash-recovery
-// proofs assume the write -> fsync -> rename -> dirsync order.
+// proofs assume the write -> fsync -> rename -> dirsync order. The raw
+// ::-qualified syscalls here also trip durability-vfs-routing: this file
+// is not the Vfs backend, so each one bypasses fault injection.
 #include <string>
 
 namespace vnfr::serve {
@@ -11,14 +13,14 @@ void fsync_parent_dir(const std::string& path);
 // rename with no fsync of the temp file first and no directory sync
 // after: both order rules fire on the same call site.
 void publish_unsafely(const std::string& tmp, const std::string& path) {
-    ::rename(tmp.c_str(), path.c_str());  // expect: durability-rename-fsync, durability-rename-dirsync
+    ::rename(tmp.c_str(), path.c_str());  // expect: durability-rename-fsync, durability-rename-dirsync, durability-vfs-routing
 }
 
 // rename whose fsync comes *after* it: ordering matters, not presence.
 void publish_fsync_too_late(int fd, const std::string& tmp,
                             const std::string& path) {
-    ::rename(tmp.c_str(), path.c_str());  // expect: durability-rename-fsync
-    ::fsync(fd);
+    ::rename(tmp.c_str(), path.c_str());  // expect: durability-rename-fsync, durability-vfs-routing
+    ::fsync(fd);  // expect: durability-vfs-routing
     fsync_parent_dir(path);
 }
 

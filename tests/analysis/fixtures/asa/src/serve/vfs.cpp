@@ -1,0 +1,31 @@
+// Negative fixture living at the one path allowed to touch raw POSIX
+// syscalls (the Vfs backend): durability-vfs-routing must stay silent
+// here, the durability-order rules still apply to call *sites*, and a
+// wrapper whose name matches the primitive it wraps (rename below) is
+// not a call site at all.
+#include <string>
+
+namespace vnfr::serve {
+
+bool write_all(int fd, const void* data, std::size_t len);
+void fsync_parent_dir(const std::string& path);
+
+void publish_safely(int fd, const std::string& tmp, const std::string& path) {
+    ::fsync(fd);
+    ::rename(tmp.c_str(), path.c_str());
+    fsync_parent_dir(path);
+}
+
+bool append_safely(int fd, const std::string& payload) {
+    if (!write_all(fd, payload.data(), payload.size())) return false;
+    return ::fdatasync(fd) == 0;
+}
+
+// A backend wrapper named after the primitive it wraps: the ordering
+// rules must not fire on the wrapped call (this is the layer that
+// *implements* rename, not a call site that publishes a file with it).
+void rename(const std::string& from, const std::string& to) {
+    ::rename(from.c_str(), to.c_str());
+}
+
+}  // namespace vnfr::serve

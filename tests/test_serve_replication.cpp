@@ -518,5 +518,36 @@ TEST(FailoverChaos, GatePassesOnBothSchemesWithLag) {
     }
 }
 
+TEST(FailoverChaos, DegradedPrimaryIsFailedOverLikeADeadOne) {
+    const core::Instance instance = replication_instance(60);
+    FailoverChaosConfig cfg;
+    cfg.scheme = core::Scheme::kOnsite;
+    cfg.master_seed = 0xDE6FADEDull;
+    cfg.kill_points = 2;
+    cfg.degraded_primary_trials = 4;
+    cfg.checkpoint_every = 8;
+    cfg.queue_capacity = 4;
+    cfg.group_commit = 2;
+    cfg.ship_every = 2;
+    cfg.work_dir = fresh_work_dir("failover_degraded");
+    const FailoverChaosResult result = run_failover_chaos_study(instance, cfg);
+    EXPECT_TRUE(result.ok()) << "failed " << result.failed_trials << "/"
+                             << result.trials.size();
+    ASSERT_EQ(result.trials.size(), 6u);  // 2 kill + 4 degraded-primary
+    std::size_t degraded = 0;
+    std::size_t faulty = 0;
+    for (const FailoverTrial& trial : result.trials) {
+        EXPECT_TRUE(trial.crashed);
+        EXPECT_TRUE(trial.ok());
+        if (trial.degraded) ++degraded;
+        if (trial.faulty_transport) ++faulty;
+    }
+    // A primary whose disk filled mid-stream counts as dead: the standby
+    // was promoted from the degraded primary's durable WAL prefix and
+    // finished the trace bit-identically in every degraded trial.
+    EXPECT_EQ(degraded, 4u);
+    EXPECT_GT(faulty, 0u);  // degraded failover also ran over a lossy link
+}
+
 }  // namespace
 }  // namespace vnfr::serve::replication

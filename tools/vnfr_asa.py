@@ -40,6 +40,13 @@ assume a strict write -> fsync -> rename -> dirsync order):
                              fsync/fdatasync in the same function: the
                              outcome could be externalized before the
                              bytes are durable.
+  durability-vfs-routing     a raw POSIX file syscall (``::open``,
+                             ``::write``, ``::fsync``, ``::rename``, ...)
+                             anywhere in src/serve outside
+                             ``src/serve/vfs.cpp``: all storage I/O must
+                             route through the ``serve::Vfs`` layer, or
+                             fault injection and power-cut simulation
+                             silently stop covering it.
 
 lock-order rule (scope: all of ``src/``):
 
@@ -104,6 +111,9 @@ RULES: dict[str, str] = {
     "durability-wal-sync": "write_all() without a following fsync/fdatasync "
                            "in the same function; bytes may be externalized "
                            "before they are durable",
+    "durability-vfs-routing": "raw POSIX file syscall in src/serve outside "
+                              "vfs.cpp; route all storage I/O through "
+                              "serve::Vfs so fault injection covers it",
     "lock-order": "lock acquisition that is undeclared in "
                   "tools/lock_hierarchy.txt or inverts the declared order",
     "replication-ack-apply": "send_ack() without a preceding "
@@ -141,6 +151,15 @@ RE_ADDR_HASH = re.compile(
     r"|reinterpret_cast\s*<\s*(?:std::)?uintptr_t\s*>"
 )
 RE_UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+# Raw POSIX file syscalls (globally qualified) that bypass the Vfs layer.
+# The file-mutating and file-reading set only: directory iteration
+# (opendir/readdir) and mkdir stay raw in harness code by design.
+RE_RAW_SYSCALL = re.compile(
+    r"(?<![\w>)])::\s*(open|openat|creat|read|pread|write|pwrite|fsync"
+    r"|fdatasync|rename|renameat|ftruncate|unlink|close|lseek)\s*\("
+)
+# The single file allowed to touch raw syscalls: the PosixVfs backend.
+VFS_BACKEND = "src/serve/vfs.cpp"
 RE_DECL_NAME = re.compile(r">\s+([A-Za-z_]\w*)\s*(?:[;={(]|$)")
 RE_RANGE_FOR = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([^);]+)\)")
 RE_CALLS = {
@@ -486,6 +505,17 @@ def analyze_model(model: FileModel, hierarchy: dict[str, int]) -> list[Finding]:
 
     # --- durability order -------------------------------------------------
     if in_durability:
+        # Routing: every storage syscall must flow through the Vfs layer,
+        # so FaultyVfs chaos (error injection, power cuts) covers it. Only
+        # the PosixVfs backend itself may touch the raw calls.
+        if rel != VFS_BACKEND:
+            for idx, code in enumerate(model.code_lines):
+                for m in RE_RAW_SYSCALL.finditer(code):
+                    findings.append(Finding(
+                        rel, idx + 1, "durability-vfs-routing",
+                        f"raw ::{m.group(1)}() bypasses the Vfs layer; "
+                        "route it through serve::Vfs so fault injection "
+                        "and power-cut simulation cover it"))
         for fn in model.functions:
             calls = [e for e in fn.events if e.kind == "call"]
             sync_lines = [e.line for e in calls
@@ -493,6 +523,13 @@ def analyze_model(model: FileModel, hierarchy: dict[str, int]) -> list[Finding]:
             dirsync_lines = [e.line for e in calls
                              if e.name == "fsync_parent_dir"]
             for ev in calls:
+                # A wrapper's own definition scans as a call to itself in
+                # token mode (the signature line) and legitimately names
+                # the wrapped primitive in its body (PosixVfs::rename
+                # calls ::rename); the ordering rules target call *sites*,
+                # not the wrappers.
+                if ev.name == fn.name:
+                    continue
                 if ev.name == "rename":
                     if not any(s < ev.line for s in sync_lines):
                         findings.append(Finding(
@@ -506,7 +543,7 @@ def analyze_model(model: FileModel, hierarchy: dict[str, int]) -> list[Finding]:
                             "rename() with no fsync_parent_dir() afterwards "
                             f"in '{fn.name}'; the directory entry may not "
                             "survive a crash"))
-                elif ev.name == "write_all" and fn.name != "write_all":
+                elif ev.name == "write_all":
                     if not any(s > ev.line
                                for s in sync_lines + dirsync_lines):
                         findings.append(Finding(

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Offline inspector for vnfr admission-controller WAL files.
 
-Usage: vnfr_waldump.py [--recover] [--quiet] <wal-file>...
+Usage: vnfr_waldump.py [--recover] [--quiet] [--json] <wal-file>...
        vnfr_waldump.py --self-test
 
 Prints the 32-byte header (magic, version, generation, config digest,
@@ -23,6 +23,12 @@ incomplete or CRC-broken *and* touches end-of-file is reported as a torn
 tail (the only state a crash can produce) and the exit stays 0 — the
 same policy as WalReadMode::kRecover.
 
+With --json, one JSON document is printed to stdout instead of the text
+dump: a `files` array with per-file header fields, records (omitted
+under --quiet), torn-tail accounting, and — for corrupt files — the
+error offset; plus a top-level `ok`. The exit status is unchanged, so
+CI can both gate on it and archive the document.
+
 --self-test crafts WALs in memory (clean, torn-tail, mid-file
 corruption) and checks the parser against them; no files are read.
 """
@@ -31,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import binascii
+import json
 import struct
 import sys
 from dataclasses import dataclass, field
@@ -214,6 +221,31 @@ def print_dump(path: str, dump: Dump, *, quiet: bool) -> None:
              if dump.torn_tail_bytes else ""))
 
 
+def dump_as_json(path: str, dump: Dump, *, quiet: bool) -> dict:
+    doc = {
+        "file": path,
+        "ok": True,
+        "generation": dump.generation,
+        "config_digest": f"0x{dump.config_digest:016x}",
+        "record_count": len(dump.records),
+        "valid_size": dump.valid_size,
+        "torn_tail_bytes": dump.torn_tail_bytes,
+        "torn_tail_records": dump.torn_tail_records,
+    }
+    if not quiet:
+        doc["records"] = [
+            {
+                "offset": rec.offset,
+                "payload_len": rec.payload_len,
+                "seq": rec.seq,
+                "kind": KIND_NAMES[rec.kind],
+                "summary": rec.summary,
+            }
+            for rec in dump.records
+        ]
+    return doc
+
+
 # --------------------------------------------------------------------------
 # Self-test: craft WALs in memory and check the parser against them.
 # --------------------------------------------------------------------------
@@ -272,6 +304,15 @@ def self_test() -> int:
     check(d2.torn_tail_bytes == len(torn) - d2.valid_size,
           "torn byte count matches the invalid suffix")
 
+    # The JSON shape must round-trip and agree with the parsed dump.
+    j = json.loads(json.dumps(dump_as_json("x.log", d2, quiet=False)))
+    check(j["ok"] and j["record_count"] == 2 and len(j["records"]) == 2,
+          "json dump mirrors the parsed records")
+    check(j["torn_tail_bytes"] == d2.torn_tail_bytes and
+          j["valid_size"] == d2.valid_size, "json torn-tail accounting")
+    check("records" not in dump_as_json("x.log", d2, quiet=True),
+          "json --quiet omits per-record rows")
+
     # Flip a byte inside the FIRST record: corruption before the tail must
     # throw in both modes (it cannot be a crash artifact).
     mid = bytearray(clean)
@@ -308,7 +349,11 @@ def main(argv: list[str]) -> int:
                         help="drop a torn tail like WalReadMode::kRecover "
                              "instead of failing on it")
     parser.add_argument("--quiet", action="store_true",
-                        help="print only the per-file summary lines")
+                        help="print only the per-file summary lines "
+                             "(with --json: omit per-record rows)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON document "
+                             "instead of the text dump")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the parser against in-memory WALs")
     args = parser.parse_args(argv[1:])
@@ -319,20 +364,33 @@ def main(argv: list[str]) -> int:
         parser.error("no WAL files given (or use --self-test)")
 
     status = 0
+    docs: list[dict] = []
     for name in args.files:
         try:
             data = Path(name).read_bytes()
         except OSError as err:
-            print(f"{name}: {err}", file=sys.stderr)
+            if args.json:
+                docs.append({"file": name, "ok": False, "error": str(err)})
+            else:
+                print(f"{name}: {err}", file=sys.stderr)
             status = 1
             continue
         try:
             dump = parse_wal(data, recover=args.recover)
         except WalError as err:
-            print(f"{name}: CORRUPT at {err}", file=sys.stderr)
+            if args.json:
+                docs.append({"file": name, "ok": False,
+                             "error": err.what, "error_offset": err.offset})
+            else:
+                print(f"{name}: CORRUPT at {err}", file=sys.stderr)
             status = 1
             continue
-        print_dump(name, dump, quiet=args.quiet)
+        if args.json:
+            docs.append(dump_as_json(name, dump, quiet=args.quiet))
+        else:
+            print_dump(name, dump, quiet=args.quiet)
+    if args.json:
+        print(json.dumps({"ok": status == 0, "files": docs}, indent=2))
     return status
 
 
